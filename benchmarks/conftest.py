@@ -1,0 +1,45 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's exhibits.  The heavy
+measurement runs (API statistics over the twelve workloads, simulations of
+the three OpenGL games) are executed once per session through the shared
+runner and cached; the benchmarked callable is the exhibit regeneration.
+
+Every benchmark writes its rendered comparison to ``results/<exhibit>.txt``
+so the measured-vs-paper tables survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import default_runner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Process-wide cached measurement runner."""
+    return default_runner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_exhibit(results_dir):
+    """Save an exhibit's text rendering and echo it to the terminal."""
+
+    def save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return save

@@ -1,0 +1,20 @@
+"""Figure 1: batches per frame over time (OGL and D3D sets)."""
+
+import statistics
+
+from repro.experiments import figures
+
+
+def test_fig01_batches_per_frame(benchmark, runner, record_exhibit):
+    figure = benchmark.pedantic(
+        figures.figure1, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("fig01_batches_per_frame", figure.as_text())
+    for name, series in figure.series.items():
+        values = series[1:]  # skip the startup frame
+        mean = statistics.fmean(values)
+        stdev = statistics.pstdev(values)
+        assert mean > 50, name
+        # The paper's observation: interactive batch counts are highly
+        # variable over time (unlike static-model studies).
+        assert stdev / mean > 0.05, name

@@ -1,0 +1,16 @@
+"""Figure 2: per-frame index traffic in MB."""
+
+import statistics
+
+from repro.experiments import figures
+
+
+def test_fig02_index_bw(benchmark, runner, record_exhibit):
+    figure = benchmark.pedantic(
+        figures.figure2, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("fig02_index_bw", figure.as_text())
+    for name, series in figure.series.items():
+        mean = statistics.fmean(series[1:])
+        # The paper's plots live under 4 MB/frame for every workload.
+        assert 0.05 < mean < 4.0, name

@@ -1,0 +1,16 @@
+"""Figure 3: state calls per frame — startup and transition spikes."""
+
+from repro.experiments import figures
+
+
+def test_fig03_state_calls(benchmark, runner, record_exhibit):
+    figure = benchmark.pedantic(
+        figures.figure3, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("fig03_state_calls", figure.as_text())
+    for name, series in figure.series.items():
+        steady = sorted(series[2:])[len(series[2:]) // 2]
+        # First frame carries the setup uploads: a decade or more above
+        # steady state on the paper's log plots.
+        assert series[0] > 4 * steady, name
+        assert 100 < steady < 20000, name

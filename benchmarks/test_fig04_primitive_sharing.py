@@ -1,0 +1,12 @@
+"""Figure 4: vertex sharing of triangle lists / strips / fans."""
+
+from repro.experiments import figures
+
+
+def test_fig04_primitive_sharing(benchmark, record_exhibit):
+    figure = benchmark.pedantic(figures.figure4, rounds=1, iterations=1)
+    record_exhibit("fig04_primitive_sharing", figure.as_text())
+    assert all(v == 3.0 for v in figure.series["TL"])
+    # Strips and fans converge towards ~1 index per triangle.
+    assert figure.series["TS"][-1] < 1.1
+    assert figure.series["TF"][-1] < 1.1

@@ -1,0 +1,21 @@
+"""Figure 6: indices / assembled / traversed triangles per frame."""
+
+import statistics
+
+from repro.experiments import figures
+
+
+def test_fig06_triangle_funnel(benchmark, runner, record_exhibit):
+    figure = benchmark.pedantic(
+        figures.figure6, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("fig06_triangle_funnel", figure.as_text())
+    indices = figure.series["indices"]
+    assembled = figure.series["assembled"]
+    traversed = figure.series["traversed"]
+    for i in range(len(indices)):
+        # Pure triangle lists: assembled is exactly indices / 3.
+        assert abs(assembled[i] - indices[i] / 3.0) <= 1.0
+        assert traversed[i] <= assembled[i]
+    ratio = statistics.fmean(traversed) / statistics.fmean(assembled)
+    assert 0.2 < ratio < 0.7  # most triangles clip or cull away

@@ -1,0 +1,16 @@
+"""Figure 7: average triangle size per frame at three stages."""
+
+import statistics
+
+from repro.experiments import figures
+
+
+def test_fig07_triangle_size(benchmark, runner, record_exhibit):
+    figure = benchmark.pedantic(
+        figures.figure7, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("fig07_triangle_size", figure.as_text())
+    raster = statistics.fmean(figure.series["raster"])
+    zst = statistics.fmean(figure.series["zst"])
+    shaded = statistics.fmean(figure.series["shaded"])
+    assert raster >= zst >= shaded > 0

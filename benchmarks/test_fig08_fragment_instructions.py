@@ -1,0 +1,19 @@
+"""Figure 8: fragment program size per frame (Quake4 and FEAR)."""
+
+import statistics
+
+from repro.experiments import figures
+
+
+def test_fig08_fragment_instructions(benchmark, runner, record_exhibit):
+    figure = benchmark.pedantic(
+        figures.figure8, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("fig08_fragment_instructions", figure.as_text())
+    q4 = statistics.fmean(figure.series["Quake4/demo4 instr"][1:])
+    fear = statistics.fmean(figure.series["FEAR/interval2 instr"][1:])
+    assert 14.0 < q4 < 19.0  # paper: ~16.3
+    assert 17.0 < fear < 22.0  # paper: ~19.3
+    q4_tex = statistics.fmean(figure.series["Quake4/demo4 tex"][1:])
+    fear_tex = statistics.fmean(figure.series["FEAR/interval2 tex"][1:])
+    assert q4_tex > fear_tex  # idTech4 interactions sample more textures

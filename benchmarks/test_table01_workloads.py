@@ -1,0 +1,15 @@
+"""Table I: the game workload descriptions (registry vs paper)."""
+
+from repro.experiments import tables
+
+
+def test_table01_workloads(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table1, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table01_workloads", comparison.as_text())
+    # Every Table-I row is present with the paper's frame counts and APIs.
+    assert len(comparison.rows) == 12
+    for row in comparison.rows:
+        measured_frames, paper_frames = row[1]
+        assert measured_frames == paper_frames

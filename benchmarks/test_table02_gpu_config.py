@@ -1,0 +1,15 @@
+"""Table II: the simulator's machine configuration vs the reference R520."""
+
+from repro.experiments import tables
+from repro.gpu.config import GpuConfig
+
+
+def test_table02_gpu_config(benchmark, record_exhibit):
+    comparison = benchmark.pedantic(tables.table2, rounds=1, iterations=1)
+    record_exhibit("table02_gpu_config", comparison.as_text())
+    config = GpuConfig.r520()
+    assert config.triangles_per_cycle == 2
+    assert config.bilinears_per_cycle == 16
+    assert config.zstencil_rate == 16 and config.color_rate == 16
+    assert config.memory_bytes_per_cycle == 64
+    assert config.shader_units == 16

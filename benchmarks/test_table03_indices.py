@@ -1,0 +1,19 @@
+"""Table III: average indices per batch and frame, index bandwidth."""
+
+from repro.experiments import paper, tables
+
+
+def test_table03_indices(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table3, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table03_indices", comparison.as_text())
+    for i, name in enumerate(paper.WORKLOAD_ORDER):
+        measured_pf, paper_pf = comparison.rows[i][2]
+        assert abs(measured_pf - paper_pf) / paper_pf < 0.25, name
+        measured_pb, paper_pb = comparison.rows[i][1]
+        assert abs(measured_pb - paper_pb) / paper_pb < 0.30, name
+    # Headline: even at 100 fps, index traffic is far below bus bandwidth.
+    for row in comparison.rows:
+        measured_mbs, _ = row[4]
+        assert measured_mbs < 1000.0  # << 1 GB/s

@@ -1,0 +1,18 @@
+"""Table IV: average vertex shader instructions (Oblivion two regions)."""
+
+from repro.experiments import tables
+
+
+def test_table04_vertex_shader(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table4, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table04_vertex_shader", comparison.as_text())
+    for row in comparison.rows:
+        measured, published = row[1]
+        assert abs(measured - published) / published < 0.10, row[0]
+    # Oblivion's second region uses distinctly longer vertex programs.
+    regions = {row[0]: row[1][0] for row in comparison.rows if "reg" in row[0]}
+    assert regions["Oblivion/Anvil Castle (reg2)"] > 1.5 * regions[
+        "Oblivion/Anvil Castle (reg1)"
+    ]

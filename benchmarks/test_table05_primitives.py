@@ -1,0 +1,17 @@
+"""Table V: primitive utilization (lists dominate; Oblivion strips)."""
+
+from repro.experiments import paper, tables
+
+
+def test_table05_primitives(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table5, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table05_primitives", comparison.as_text())
+    rows = {row[0]: row for row in comparison.rows}
+    for name in paper.WORKLOAD_ORDER:
+        measured_tl, paper_tl = rows[name][1]
+        assert abs(measured_tl - paper_tl) <= 10.0, name
+    # Strips only matter for Oblivion (and a little for Splinter Cell).
+    assert rows["Oblivion/Anvil Castle"][2][0] > 40.0
+    assert rows["Doom3/trdemo2"][1][0] == 100.0

@@ -1,0 +1,11 @@
+"""Table VI: system bus bandwidths from first principles."""
+
+from repro.experiments import tables
+
+
+def test_table06_bus_bw(benchmark, record_exhibit):
+    comparison = benchmark.pedantic(tables.table6, rounds=1, iterations=1)
+    record_exhibit("table06_bus_bw", comparison.as_text())
+    for row in comparison.rows:
+        measured, published = row[3]
+        assert abs(measured - published) / published < 0.01, row[0]

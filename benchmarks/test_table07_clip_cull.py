@@ -1,0 +1,17 @@
+"""Table VII: clipped / culled / traversed triangle percentages."""
+
+from repro.experiments import paper, tables
+
+
+def test_table07_clip_cull(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table7, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table07_clip_cull", comparison.as_text())
+    for row in comparison.rows:
+        clip, cull, trav = (cell[0] for cell in row[1:4])
+        assert abs(clip + cull + trav - 100.0) < 0.5, row[0]
+        # Paper's conclusion: clip+cull remove around half or more of the
+        # assembled triangles in every simulated game.
+        assert clip + cull > 40.0, row[0]
+        assert clip > 15.0 and cull > 5.0, row[0]

@@ -1,0 +1,22 @@
+"""Table VIII: average triangle size in fragments per pipeline stage."""
+
+from repro.experiments import tables
+
+
+def test_table08_triangle_size(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table8, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table08_triangle_size", comparison.as_text())
+    rows = {row[0]: row for row in comparison.rows}
+    for name, row in rows.items():
+        raster, zst, shaded, blended = (cell[0] for cell in row[1:5])
+        # Funnel: triangles only lose fragments down the pipeline.
+        assert raster >= zst >= blended > 0, name
+        # Paper: triangle sizes remain large (hundreds of fragments).
+        assert raster > 60, name
+    # Sizes stay in the paper's order of magnitude (hundreds of fragments
+    # at the reduced resolution; the full-resolution equivalents scale by
+    # the pixel ratio).
+    for name, row in rows.items():
+        assert 60 < row[1][0] < 3000, name

@@ -1,0 +1,23 @@
+"""Table IX: quad fate distribution (HZ/ZS/alpha/colormask/blending)."""
+
+from repro.experiments import tables
+
+
+def test_table09_quad_kills(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table9, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table09_quad_kills", comparison.as_text())
+    rows = {row[0]: row for row in comparison.rows}
+    for name, row in rows.items():
+        parts = [cell[0] for cell in row[1:6]]
+        assert abs(sum(parts) - 100.0) < 0.5, name
+    # UT2004: no color-masked quads, alpha test present, blending dominates.
+    ut = rows["UT2004/Primeval"]
+    assert ut[4][0] < 1.0 and ut[3][0] > 0.3 and ut[5][0] > 40.0
+    # Stencil-shadow games: large color-masked share, small alpha.
+    for name in ("Doom3/trdemo2", "Quake4/demo4"):
+        row = rows[name]
+        assert row[4][0] > 10.0, name
+        assert row[3][0] < 2.0, name
+        assert row[5][0] < ut[5][0], name

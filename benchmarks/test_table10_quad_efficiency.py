@@ -1,0 +1,15 @@
+"""Table X: quad efficiency (complete 2x2 quads)."""
+
+from repro.experiments import tables
+
+
+def test_table10_quad_efficiency(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table10, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table10_quad_efficiency", comparison.as_text())
+    for row in comparison.rows:
+        raster, zst = row[1][0], row[2][0]
+        # Paper's point vs [1]: efficiency well above their 40-60%.
+        assert raster > 65.0, row[0]
+        assert zst > 60.0, row[0]

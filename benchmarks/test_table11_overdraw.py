@@ -1,0 +1,20 @@
+"""Table XI: overdraw per stage; stencil shadows inflate raster/ZS."""
+
+from repro.experiments import tables
+
+
+def test_table11_overdraw(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table11, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table11_overdraw", comparison.as_text())
+    rows = {row[0]: [cell[0] for cell in row[1:5]] for row in comparison.rows}
+    for name, (raster, zst, shaded, blended) in rows.items():
+        assert raster >= zst, name
+        assert shaded >= blended, name
+    # Doom3/Quake4 rasterize far more fragments per pixel than UT2004 while
+    # converging to a similar number of blended fragments.
+    assert rows["Doom3/trdemo2"][0] > 1.5 * rows["UT2004/Primeval"][0]
+    assert rows["Quake4/demo4"][0] > 1.5 * rows["UT2004/Primeval"][0]
+    for name in rows:
+        assert 2.0 < rows[name][3] < 7.0, name

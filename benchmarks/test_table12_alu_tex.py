@@ -1,0 +1,21 @@
+"""Table XII: fragment instruction mix and the ALU:TEX ratio."""
+
+from repro.experiments import paper, tables
+
+
+def test_table12_alu_tex(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table12, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table12_alu_tex", comparison.as_text())
+    rows = {row[0]: row for row in comparison.rows}
+    for name in paper.WORKLOAD_ORDER:
+        measured, published = rows[name][1]
+        assert abs(measured - published) / published < 0.10, name
+        m_ratio, p_ratio = rows[name][3]
+        assert abs(m_ratio - p_ratio) / p_ratio < 0.25, name
+    # Paper: the ratio is >= ~2 for all but one game (Splinter Cell 3).
+    below_two = [n for n in paper.WORKLOAD_ORDER if rows[n][3][0] < 1.9]
+    assert below_two == ["Splinter Cell 3/first level"]
+    # ...and the newer games have the most favorable ratios.
+    assert rows["Oblivion/Anvil Castle"][3][0] > 8.0

@@ -1,0 +1,18 @@
+"""Table XIII: dynamic bilinear cost of anisotropic filtering."""
+
+from repro.experiments import tables
+
+
+def test_table13_bilinear(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table13, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table13_bilinear", comparison.as_text())
+    for row in comparison.rows:
+        bilinears = row[1][0]
+        alu_per_bilinear = row[2][0]
+        # 16x aniso + trilinear: several bilinear probes per request...
+        assert 2.0 < bilinears < 8.0, row[0]
+        # ...so the headline result holds: ALU per *bilinear* drops below 1,
+        # and 3:1 ALU-biased architectures cannot be kept busy.
+        assert alu_per_bilinear < 1.0, row[0]

@@ -1,0 +1,19 @@
+"""Table XIV: Z/texture/color cache hit rates."""
+
+from repro.experiments import tables
+
+
+def test_table14_cache_hits(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table14, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table14_cache_hits", comparison.as_text())
+    rows = {row[0]: row for row in comparison.rows}
+    for cache in ("zstencil", "texture_l0", "color"):
+        for cell in rows[cache][4:]:
+            measured = cell[0] if isinstance(cell, tuple) else cell
+            assert measured > 80.0, cache
+    # The small L0 in front of L1 still removes most texel traffic.
+    for cell in rows["texture_l0"][4:]:
+        measured = cell[0] if isinstance(cell, tuple) else cell
+        assert measured > 85.0

@@ -1,0 +1,16 @@
+"""Table XV: memory bandwidth per frame and read/write split."""
+
+from repro.experiments import tables
+
+
+def test_table15_memory_bw(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table15, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table15_memory_bw", comparison.as_text())
+    for row in comparison.rows:
+        read_pct = row[2][0]
+        # Paper: reads are roughly double the writes.
+        assert 55.0 < read_pct < 85.0, row[0]
+        mb_frame = row[1][0]
+        assert mb_frame > 10.0, row[0]

@@ -1,0 +1,20 @@
+"""Table XVII: bytes of memory traffic per shaded vertex / fragment."""
+
+from repro.experiments import tables
+
+
+def test_table17_bytes_per_item(benchmark, runner, record_exhibit):
+    comparison = benchmark.pedantic(
+        tables.table17, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    record_exhibit("table17_bytes_per_item", comparison.as_text())
+    for row in comparison.rows:
+        vertex_bytes, zst, shaded, color = (cell[0] for cell in row[1:5])
+        # Vertices are far fatter than fragments (attributes + index).
+        assert vertex_bytes > 5 * zst, row[0]
+        assert 15.0 < vertex_bytes < 120.0, row[0]
+        # Fast clear + compression keep ZS under the naive 8 B/fragment.
+        assert zst < 8.0, row[0]
+        # Compressed textures + cache keep texel traffic under
+        # 16 B/bilinear-sample naive cost.
+        assert shaded < 16.0, row[0]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Calibration helper: measured API statistics vs the paper's targets.
+
+Used while tuning the registry's EngineParams.  Run with a list of workload
+names (or no argument for all twelve) and an optional frame count:
+
+    python examples/calibrate.py "Doom3/trdemo2" --frames 120
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.geometry.primitives import PrimitiveType
+from repro.util.tables import format_table
+from repro.workloads import all_workloads, build_workload
+
+# (indices/batch, indices/frame, vertex instr, frag instr, frag tex, TL%, TS%, TF%)
+PAPER_TARGETS = {
+    "UT2004/Primeval": (1110, 249285, 23.46, 4.63, 1.54, 99.9, 0.0, 0.1),
+    "Doom3/trdemo1": (275, 196416, 20.31, 12.85, 3.98, 100.0, 0.0, 0.0),
+    "Doom3/trdemo2": (304, 136548, 19.35, 12.95, 3.98, 100.0, 0.0, 0.0),
+    "Quake4/demo4": (405, 172330, 27.92, 16.29, 4.33, 100.0, 0.0, 0.0),
+    "Quake4/guru5": (166, 135051, 24.42, 17.16, 4.54, 100.0, 0.0, 0.0),
+    "Riddick/MainFrame": (356, 214965, 16.70, 14.64, 1.94, 100.0, 0.0, 0.0),
+    "Riddick/PrisonArea": (658, 239425, 20.96, 13.63, 1.83, 100.0, 0.0, 0.0),
+    "FEAR/built-in demo": (641, 331374, 18.19, 21.30, 2.79, 100.0, 0.0, 0.0),
+    "FEAR/interval2": (1085, 307202, 21.02, 19.31, 2.72, 96.7, 0.0, 3.3),
+    "Half Life 2 LC/built-in": (736, 328919, 27.04, 19.94, 3.88, 100.0, 0.0, 0.0),
+    "Oblivion/Anvil Castle": (998, 711196, 24.0, 15.48, 1.36, 46.3, 53.7, 0.0),
+    "Splinter Cell 3/first level": (308, 177300, 28.36, 4.62, 2.13, 69.1, 26.7, 4.2),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("names", nargs="*", help="workload names (default: all)")
+    parser.add_argument("--frames", type=int, default=200)
+    args = parser.parse_args()
+    names = args.names or [w.name for w in all_workloads()]
+
+    rows = []
+    for name in names:
+        wl = build_workload(name)
+        stats = wl.api_stats(frames=args.frames)
+        share = stats.primitive_share
+        tl = 100.0 * share.get(PrimitiveType.TRIANGLE_LIST, 0.0)
+        ts = 100.0 * share.get(PrimitiveType.TRIANGLE_STRIP, 0.0)
+        tf = 100.0 * share.get(PrimitiveType.TRIANGLE_FAN, 0.0)
+        target = PAPER_TARGETS[name]
+        rows.append(
+            [
+                name,
+                f"{stats.avg_indices_per_batch:.0f}/{target[0]}",
+                f"{stats.avg_indices_per_frame:.0f}/{target[1]}",
+                f"{stats.total_batches / stats.frame_count:.0f}/"
+                f"{target[1] / target[0]:.0f}",
+                f"{stats.avg_vertex_instructions:.2f}/{target[2]:.2f}",
+                f"{stats.avg_fragment_instructions:.2f}/{target[3]:.2f}",
+                f"{stats.avg_texture_instructions:.2f}/{target[4]:.2f}",
+                f"{tl:.1f}/{target[5]:.1f}",
+                f"{ts:.1f}/{target[6]:.1f}",
+                f"{tf:.1f}/{target[7]:.1f}",
+                f"{stats.avg_state_calls_per_frame:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "workload",
+                "idx/batch",
+                "idx/frame",
+                "batches/f",
+                "vtx instr",
+                "frag instr",
+                "frag tex",
+                "TL%",
+                "TS%",
+                "TF%",
+                "state/f",
+            ],
+            rows,
+            title=f"measured/target over {args.frames} frames",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Define and characterize a brand-new synthetic workload via the public API.
+
+This is the downstream-user path: describe a hypothetical 2006-era game
+("Nebula Strike", an idTech4-style shooter with heavier shaders than Doom3),
+generate its timedemo, and characterize it exactly like the paper's twelve.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.api.commands import GraphicsApi
+from repro.workloads import EngineParams, GameWorkload, SimProfile, WorkloadSpec
+
+NEBULA_STRIKE = WorkloadSpec(
+    name="NebulaStrike/e1m1",
+    game="Nebula Strike",
+    timedemo="e1m1",
+    engine="idTech4-like",
+    api=GraphicsApi.OPENGL,
+    frames=2400,
+    duration_s=80.0,
+    texture_quality="High/Anisotropic",
+    aniso_level=8,
+    uses_shaders=True,
+    release="mid 2006",
+    index_size_bytes=4,
+    seed=20060708,
+    params=EngineParams(
+        render_path="stencil_shadow",
+        rooms=8,
+        objects_per_room=70,
+        casters_per_room=30,
+        lights=4,
+        lit_rooms=2,
+        light_radius_frac=0.3,
+        room_size=(24.0, 6.0, 22.0),
+        object_tris=90,
+        room_tris=900,
+        character_tris=500,
+        characters_per_room=4,
+        arches_per_room=2,
+        pillars_per_room=4,
+        # Heavier shaders than Doom3: longer interactions, more textures.
+        vertex_variants=((30, 0.7), (34, 0.3)),
+        fragment_variants=((22, 5, 0.8, False), (18, 4, 0.2, False)),
+        alpha_fraction=0.01,
+        texture_count=24,
+        palette="industrial",
+    ),
+    sim=SimProfile(geometry_scale=1.0 / 28.0, frames=8),
+)
+
+
+def main() -> None:
+    workload = GameWorkload(NEBULA_STRIKE)
+
+    print("== API-level statistics (80 frames) ==")
+    api = workload.api_stats(frames=80)
+    print(f"batches/frame        {api.total_batches / api.frame_count:.0f}")
+    print(f"indices/batch        {api.avg_indices_per_batch:.0f}")
+    print(f"indices/frame        {api.avg_indices_per_frame:.0f}")
+    print(f"vertex instructions  {api.avg_vertex_instructions:.2f}")
+    print(f"fragment instr/TEX   {api.avg_fragment_instructions:.2f} / "
+          f"{api.avg_texture_instructions:.2f}")
+    print(f"ALU:TEX ratio        {api.alu_to_texture_ratio:.2f}")
+
+    print("\n== Microarchitectural simulation (reduced profile, 4 frames) ==")
+    sim_workload = GameWorkload(NEBULA_STRIKE, sim=True)
+    result = sim_workload.simulate(frames=4)
+    stats = result.stats
+    clip, cull, trav = stats.clip_cull_traverse_percent
+    print(f"clip/cull/traverse   {clip:.0f}% / {cull:.0f}% / {trav:.0f}%")
+    print(f"overdraw (raster)    {result.overdraw('raster'):.1f}")
+    print(f"overdraw (blended)   {result.overdraw('blended'):.1f}")
+    print(f"vertex cache         {stats.vertex_cache_hit_rate:.1%}")
+    print(f"bilinears/request    {stats.bilinears_per_texture_request:.2f} "
+          f"(8x aniso cap)")
+    print(f"ALU per bilinear     {stats.alu_per_bilinear:.2f}")
+    distribution = result.memory.traffic_distribution
+    leading = max(distribution, key=lambda c: distribution[c])
+    print(f"leading BW consumer  {leading.value} "
+          f"({distribution[leading]:.0f}%)")
+    print("\nWith 22-instruction interactions the ALU:bilinear ratio rises "
+          "toward the paper's crossover — the scenario its conclusion "
+          "predicts for newer games.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Run the GPUBench-style microbenchmarks and print a rate report.
+
+Each microbenchmark stresses one pipeline stage with a purpose-built
+workload (the methodology of the paper's reference [12]) and reports the
+achieved event rate against the Table II machine rates.
+
+Run:  python examples/microbench_report.py
+"""
+
+from repro.gpu.config import GpuConfig
+from repro.microbench import run_all
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    config = GpuConfig(width=256, height=192)
+    rows = []
+    peaks = {
+        "fill_rate": config.color_rate,
+        "texture_rate": config.bilinears_per_cycle,
+        "geometry_rate": config.triangles_per_cycle,
+        "zstencil_rate": config.zstencil_rate,
+    }
+    for result in run_all(config):
+        peak = peaks[result.name]
+        rows.append(
+            [
+                result.name,
+                result.metric,
+                result.events,
+                f"{result.events_per_cycle:.2f}",
+                peak,
+                f"{100 * result.events_per_cycle / peak:.0f}%",
+                result.bottleneck,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "metric", "events", "achieved/cycle",
+             "peak/cycle", "efficiency", "bottleneck"],
+            rows,
+            title="GPUBench-style microbenchmarks (Table II machine)",
+        )
+    )
+    print(
+        "\nThe texture test saturates the sampler at its configured rate; "
+        "the fill and z tests run into the 64 B/cycle memory system first — "
+        "the same balance the paper's Table II machine was built around."
+    )
+
+
+if __name__ == "__main__":
+    main()

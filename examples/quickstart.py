@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: render a tiny hand-built scene through the GPU simulator.
+
+Builds two textured props in front of the camera, replays a one-frame API
+trace through the full pipeline, prints the per-stage statistics the paper's
+tables are made of, and writes the rendered frame to ``quickstart.ppm``.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.util.mathutil as mu
+from repro.api import (
+    BindProgram,
+    BindTexture,
+    Clear,
+    Draw,
+    Frame,
+    GraphicsApi,
+    SetUniform,
+    Trace,
+    TraceMeta,
+)
+from repro.geometry import box_mesh, grid_mesh
+from repro.gpu import GpuConfig, GpuSimulator, TextureResource
+from repro.gpu import perf
+from repro.shader import library
+
+WIDTH, HEIGHT = 320, 240
+
+
+def checker_texture(name: str, size: int = 64) -> TextureResource:
+    img = np.zeros((size, size, 4), dtype=np.float32)
+    img[::2, ::2, :3] = (0.9, 0.7, 0.4)
+    img[1::2, 1::2, :3] = (0.9, 0.7, 0.4)
+    img[..., 3] = 1.0
+    return TextureResource.from_image(name, img)
+
+
+def main() -> None:
+    # 1. Geometry: a floor and a crate.
+    floor = grid_mesh("floor", 16, 16, 20.0, 20.0)
+    crate = box_mesh("crate", (1.5, 1.5, 1.5), subdivisions=2)
+
+    # 2. Shaders from the library (a 16-instr vertex program with a
+    #    directional light, and an 8-instr fragment program with one TEX).
+    vp = library.build_vertex_program("vp", 16)
+    fp = library.build_fragment_program("fp", 1, 8)
+
+    # 3. One frame of API calls — what GLInterceptor would have recorded.
+    view_proj = mu.perspective(70, WIDTH / HEIGHT, 0.1, 100) @ mu.look_at(
+        (4.0, 3.0, 6.0), (0.0, 0.5, 0.0)
+    )
+    crate_model = mu.translate(0.0, 0.75, 0.0) @ mu.rotate_y(0.6)
+    calls = [
+        Clear(color_value=(0.05, 0.06, 0.09, 1.0)),
+        BindProgram("vertex", "vp"),
+        BindProgram("fragment", "fp"),
+        BindTexture(0, "checker"),
+        SetUniform.matrix("mvp", view_proj),
+        SetUniform.matrix("model", np.eye(4)),
+        Draw("floor", floor.primitive, floor.index_count),
+        SetUniform.matrix("mvp", view_proj @ crate_model),
+        SetUniform.matrix("model", crate_model),
+        Draw("crate", crate.primitive, crate.index_count),
+    ]
+    meta = TraceMeta("quickstart", GraphicsApi.OPENGL, 1, WIDTH, HEIGHT)
+    trace = Trace(meta, [Frame(0, calls)])
+
+    # 4. Simulate.
+    sim = GpuSimulator(
+        GpuConfig.r520(WIDTH, HEIGHT),
+        meshes={"floor": floor, "crate": crate},
+        programs={"vp": vp, "fp": fp},
+        textures=[checker_texture("checker")],
+    )
+    result = sim.run_trace(trace)
+    stats = result.stats
+
+    print("geometry:")
+    print(f"  indices {stats.indices}, assembled {stats.triangles_assembled}, "
+          f"clipped {stats.triangles_clipped}, culled {stats.triangles_culled}, "
+          f"traversed {stats.triangles_traversed}")
+    print(f"  vertex cache hit rate {stats.vertex_cache_hit_rate:.2%}")
+    print("fragments:")
+    print(f"  rasterized {stats.fragments_rasterized}, z/stencil "
+          f"{stats.fragments_zstencil}, shaded {stats.fragments_shaded}, "
+          f"blended {stats.fragments_blended}")
+    print(f"  quad efficiency {stats.quad_efficiency_raster:.2%}")
+    print(f"  bilinears per texture request "
+          f"{stats.bilinears_per_texture_request:.2f}")
+    print("memory:")
+    for client, pct in result.memory.traffic_distribution.items():
+        print(f"  {client.value:10s} {pct:5.1f}%")
+    print("cache hit rates:",
+          {name: round(c.hit_rate, 3) for name, c in result.caches.items()})
+    estimate = perf.estimate(stats, result.memory, result.config)
+    print(f"bottleneck stage: {estimate.bottleneck}; "
+          f"~{estimate.fps_at_clock():.0f} fps at an R520-class 625 MHz")
+
+    sim.fb.to_ppm("quickstart.ppm")
+    print("wrote quickstart.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Render frames of the Doom3-style workload and write them as PPM images.
+
+Demonstrates the stencil-shadow pipeline visually: the written frames show
+hard shadows cast by props and characters under the room lights.
+
+Run:  python examples/shadow_demo.py --frames 3 --out-dir shadow_frames
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workload", default="Doom3/trdemo2")
+    parser.add_argument("--frames", type=int, default=3)
+    parser.add_argument("--out-dir", default="shadow_frames")
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(exist_ok=True)
+
+    workload = build_workload(args.workload, sim=True)
+    sim = workload.simulator()
+    trace = workload.trace(frames=args.frames)
+
+    for frame in trace.frames():
+        sim.run_frame(frame)
+        path = out_dir / f"{workload.spec.slug}_{frame.number:03d}.ppm"
+        sim.fb.to_ppm(path)
+        stats = sim.frame_stats[-1]
+        shadowed = (sim.fb.stencil != 0).sum()
+        print(
+            f"frame {frame.number}: {stats.fragments_blended} blended "
+            f"fragments, residual stencil {shadowed} px -> {path}"
+        )
+    print(f"wrote {args.frames} frames to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

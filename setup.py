@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so PEP 660 editable
+installs fail; this file lets `pip install -e .` fall back to
+`setup.py develop`, which works without wheel.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Workload Characterization of 3D Games' (IISWC 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

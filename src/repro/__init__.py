@@ -1,0 +1,37 @@
+"""repro — a reproduction of 'Workload Characterization of 3D Games'.
+
+IISWC 2006, Roca / Moya / Gonzalez / Solis / Fernandez / Espasa.
+
+The package rebuilds the paper's measurement stack: an API-level tracing
+framework (:mod:`repro.api`), a functional GPU pipeline simulator
+(:mod:`repro.gpu`), a shader ISA (:mod:`repro.shader`), procedural geometry
+(:mod:`repro.geometry`), synthetic game workloads standing in for the
+original timedemos (:mod:`repro.workloads`), and the experiment harness that
+regenerates every table and figure (:mod:`repro.experiments`).
+
+Typical entry points::
+
+    from repro import build_workload, GpuSimulator, GpuConfig
+
+    workload = build_workload("Doom3/trdemo2", sim=True)
+    result = workload.simulate(frames=6)
+    print(result.stats.quad_fate_percent)
+"""
+
+from repro.api.tracer import ApiTracer
+from repro.gpu.config import GpuConfig
+from repro.gpu.pipeline import GpuSimulator, SimulationResult
+from repro.workloads import build_workload, all_workloads, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApiTracer",
+    "GpuConfig",
+    "GpuSimulator",
+    "SimulationResult",
+    "build_workload",
+    "all_workloads",
+    "workload",
+    "__version__",
+]

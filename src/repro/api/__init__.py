@@ -1,0 +1,45 @@
+"""Graphics-API layer.
+
+Models the OpenGL/Direct3D call streams the paper traced with GLInterceptor
+and PIX: draw calls, state changes, resource uploads.  ``ApiTracer`` computes
+exactly the API-level statistics of the paper (batches, indices, state calls,
+primitive mix, shader instruction counts).
+"""
+
+from repro.api.commands import (
+    GraphicsApi,
+    Draw,
+    SetState,
+    SetUniform,
+    BindProgram,
+    BindTexture,
+    UploadResource,
+    Clear,
+    ApiCall,
+)
+from repro.api.state import RenderState, StateMachine
+from repro.api.trace import Frame, Trace, TraceMeta, save_trace, load_trace
+from repro.api.tracer import ApiTracer
+from repro.api.stats import FrameApiStats, WorkloadApiStats
+
+__all__ = [
+    "GraphicsApi",
+    "Draw",
+    "SetState",
+    "SetUniform",
+    "BindProgram",
+    "BindTexture",
+    "UploadResource",
+    "Clear",
+    "ApiCall",
+    "RenderState",
+    "StateMachine",
+    "Frame",
+    "Trace",
+    "TraceMeta",
+    "save_trace",
+    "load_trace",
+    "ApiTracer",
+    "FrameApiStats",
+    "WorkloadApiStats",
+]

@@ -1,0 +1,166 @@
+"""API-level statistics containers (the GLInterceptor metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.primitives import PrimitiveType
+
+
+@dataclass
+class FrameApiStats:
+    """Per-frame API statistics."""
+
+    frame: int
+    batches: int = 0
+    indices: int = 0
+    index_bytes: int = 0
+    state_calls: int = 0
+    upload_bytes: int = 0
+    primitives: dict[PrimitiveType, int] = field(default_factory=dict)
+    # Vertex shading work: sum over draws of (indices * program length).
+    vertex_instr_weighted: int = 0
+    vertex_weight: int = 0
+    # Fragment program sizes, weighted per batch that binds a program.
+    fragment_instr_weighted: int = 0
+    fragment_tex_weighted: int = 0
+    fragment_batches: int = 0
+
+    @property
+    def primitive_total(self) -> int:
+        return sum(self.primitives.values())
+
+    @property
+    def avg_vertex_instructions(self) -> float:
+        if self.vertex_weight == 0:
+            return 0.0
+        return self.vertex_instr_weighted / self.vertex_weight
+
+    @property
+    def avg_fragment_instructions(self) -> float:
+        if self.fragment_batches == 0:
+            return 0.0
+        return self.fragment_instr_weighted / self.fragment_batches
+
+    @property
+    def avg_texture_instructions(self) -> float:
+        if self.fragment_batches == 0:
+            return 0.0
+        return self.fragment_tex_weighted / self.fragment_batches
+
+
+@dataclass
+class WorkloadApiStats:
+    """Whole-timedemo aggregation of :class:`FrameApiStats`.
+
+    Exposes every Table III/IV/V/XII metric and the per-frame series behind
+    Figures 1, 2, 3 and 8.
+    """
+
+    name: str
+    index_size_bytes: int
+    frames: list[FrameApiStats] = field(default_factory=list)
+
+    def add(self, frame_stats: FrameApiStats) -> None:
+        self.frames.append(frame_stats)
+
+    # -- totals ---------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_batches(self) -> int:
+        return sum(f.batches for f in self.frames)
+
+    @property
+    def total_indices(self) -> int:
+        return sum(f.indices for f in self.frames)
+
+    # -- Table III ------------------------------------------------------
+    @property
+    def avg_indices_per_batch(self) -> float:
+        batches = self.total_batches
+        return self.total_indices / batches if batches else 0.0
+
+    @property
+    def avg_indices_per_frame(self) -> float:
+        return self.total_indices / self.frame_count if self.frames else 0.0
+
+    def index_bandwidth_bytes_per_s(self, fps: float = 100.0) -> float:
+        """CPU->GPU index traffic at a target frame rate (Table III)."""
+        return self.avg_indices_per_frame * self.index_size_bytes * fps
+
+    # -- Fig. 3 ---------------------------------------------------------
+    @property
+    def avg_state_calls_per_frame(self) -> float:
+        if not self.frames:
+            return 0.0
+        return sum(f.state_calls for f in self.frames) / self.frame_count
+
+    # -- Table V --------------------------------------------------------
+    @property
+    def primitive_share(self) -> dict[PrimitiveType, float]:
+        """Share of assembled primitives by topology."""
+        totals: dict[PrimitiveType, int] = {}
+        for f in self.frames:
+            for prim, count in f.primitives.items():
+                totals[prim] = totals.get(prim, 0) + count
+        grand = sum(totals.values())
+        if grand == 0:
+            return {}
+        return {prim: count / grand for prim, count in totals.items()}
+
+    @property
+    def avg_primitives_per_frame(self) -> float:
+        if not self.frames:
+            return 0.0
+        return sum(f.primitive_total for f in self.frames) / self.frame_count
+
+    # -- Table IV -------------------------------------------------------
+    @property
+    def avg_vertex_instructions(self) -> float:
+        weight = sum(f.vertex_weight for f in self.frames)
+        if weight == 0:
+            return 0.0
+        return sum(f.vertex_instr_weighted for f in self.frames) / weight
+
+    # -- Table XII ------------------------------------------------------
+    @property
+    def avg_fragment_instructions(self) -> float:
+        batches = sum(f.fragment_batches for f in self.frames)
+        if batches == 0:
+            return 0.0
+        return sum(f.fragment_instr_weighted for f in self.frames) / batches
+
+    @property
+    def avg_texture_instructions(self) -> float:
+        batches = sum(f.fragment_batches for f in self.frames)
+        if batches == 0:
+            return 0.0
+        return sum(f.fragment_tex_weighted for f in self.frames) / batches
+
+    @property
+    def alu_to_texture_ratio(self) -> float:
+        tex = self.avg_texture_instructions
+        if tex == 0.0:
+            return float("inf")
+        return (self.avg_fragment_instructions - tex) / tex
+
+    # -- per-frame series (Figures 1, 2, 3, 8) ---------------------------
+    def series(self, metric: str, limit: int | None = 2000) -> list[float]:
+        """Per-frame series; the paper plots the first 2000 frames."""
+        frames = self.frames[:limit] if limit else self.frames
+        getters = {
+            "batches": lambda f: float(f.batches),
+            "index_mb": lambda f: f.index_bytes / (1024.0 * 1024.0),
+            "state_calls": lambda f: float(f.state_calls),
+            "fragment_instructions": lambda f: f.avg_fragment_instructions,
+            "texture_instructions": lambda f: f.avg_texture_instructions,
+            "vertex_instructions": lambda f: f.avg_vertex_instructions,
+            "indices": lambda f: float(f.indices),
+            "primitives": lambda f: float(f.primitive_total),
+        }
+        if metric not in getters:
+            raise KeyError(f"unknown metric {metric!r}")
+        return [getters[metric](f) for f in frames]

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``list``          list the registered workloads (Table I metadata)
+``characterize``  API-level statistics for one workload
+``simulate``      microarchitectural simulation of one workload
+``trace``         dump a workload's API trace to JSONL
+``replay``        replay a JSONL trace through the simulator
+``tables``        regenerate paper tables (all or selected) into a directory
+``figures``       regenerate paper figures (text + CSV) into a directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.api.trace import load_trace, save_trace
+from repro.experiments import ExperimentConfig, Runner, figures, tables
+from repro.gpu.stats import MemClient
+from repro.util.tables import format_table
+from repro.workloads import all_workloads, build_workload
+
+
+def _cmd_list(args) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.api.value,
+            spec.engine,
+            spec.frames,
+            f"{spec.aniso_level}X" if spec.aniso_level else "trilinear",
+            "shaders" if spec.uses_shaders else "fixed function",
+        ]
+        for spec in all_workloads()
+    ]
+    print(
+        format_table(
+            ["workload", "API", "engine", "frames", "filtering", "shading"],
+            rows,
+            title="Registered workloads (paper Table I)",
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    workload = build_workload(args.workload)
+    stats = workload.api_stats(frames=args.frames)
+    rows = [
+        ["frames analyzed", stats.frame_count],
+        ["batches/frame", round(stats.total_batches / stats.frame_count)],
+        ["indices/batch", round(stats.avg_indices_per_batch)],
+        ["indices/frame", round(stats.avg_indices_per_frame)],
+        ["index MB/s @100fps",
+         round(stats.index_bandwidth_bytes_per_s(100) / 1e6, 1)],
+        ["state calls/frame", round(stats.avg_state_calls_per_frame)],
+        ["vertex instructions", round(stats.avg_vertex_instructions, 2)],
+        ["fragment instructions", round(stats.avg_fragment_instructions, 2)],
+        ["texture instructions", round(stats.avg_texture_instructions, 2)],
+        ["ALU:TEX ratio", round(stats.alu_to_texture_ratio, 2)],
+    ]
+    print(format_table(["metric", "value"], rows, title=args.workload))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = build_workload(args.workload, sim=True)
+    result = workload.simulate(frames=args.frames)
+    stats = result.stats
+    clip, cull, trav = stats.clip_cull_traverse_percent
+    fates = stats.quad_fate_percent
+    mem = result.memory
+    rows = [
+        ["frames simulated", stats.frames],
+        ["resolution", f"{result.config.width}x{result.config.height}"],
+        ["% clipped/culled/traversed",
+         f"{clip:.0f} / {cull:.0f} / {trav:.0f}"],
+        ["vertex cache hit rate", f"{stats.vertex_cache_hit_rate:.1%}"],
+        ["overdraw (raster)", f"{result.overdraw('raster'):.1f}"],
+        ["overdraw (blended)", f"{result.overdraw('blended'):.1f}"],
+        ["quad efficiency", f"{stats.quad_efficiency_raster:.1%}"],
+        ["bilinears/request", f"{stats.bilinears_per_texture_request:.2f}"],
+        ["memory MB/frame", f"{mem.bytes_per_frame(stats.frames) / 1e6:.1f}"],
+    ]
+    rows.extend(
+        [f"quad fate {fate.value}", f"{pct:.1f}%"] for fate, pct in fates.items()
+    )
+    rows.extend(
+        [f"traffic {client.value}", f"{mem.traffic_distribution[client]:.1f}%"]
+        for client in MemClient
+    )
+    print(format_table(["metric", "value"], rows, title=args.workload))
+    if args.ppm:
+        workload2 = build_workload(args.workload, sim=True)
+        sim = workload2.simulator()
+        sim.run_trace(workload2.trace(frames=1))
+        sim.fb.to_ppm(args.ppm)
+        print(f"wrote {args.ppm}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    workload = build_workload(args.workload, sim=args.sim_profile)
+    trace = workload.trace(frames=args.frames)
+    save_trace(trace, args.output)
+    print(f"wrote {args.frames} frames of {args.workload} to {args.output}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    trace = load_trace(args.trace)
+    name = trace.meta.name
+    workload = build_workload(name, sim=True)
+    sim = workload.simulator()
+    result = sim.run_trace(trace)
+    print(
+        f"replayed {result.stats.frames} frames of {name}: "
+        f"{result.stats.fragments_blended} fragments blended, "
+        f"{result.memory.total_bytes / 1e6:.1f} MB of memory traffic"
+    )
+    return 0
+
+
+def _make_runner(args) -> Runner:
+    return Runner(
+        ExperimentConfig(
+            api_frames=args.api_frames,
+            sim_frames=args.sim_frames,
+            geometry_frames=args.geometry_frames,
+        )
+    )
+
+
+def _cmd_tables(args) -> int:
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = _make_runner(args)
+    selected = args.only or sorted(tables.ALL_TABLES)
+    for name in selected:
+        if name not in tables.ALL_TABLES:
+            print(f"unknown table {name!r}", file=sys.stderr)
+            return 2
+        func = tables.ALL_TABLES[name]
+        try:
+            comparison = func(runner=runner)  # type: ignore[call-arg]
+        except TypeError:
+            comparison = func()
+        text = comparison.as_text()
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = _make_runner(args)
+    selected = args.only or sorted(figures.ALL_FIGURES)
+    for name in selected:
+        if name not in figures.ALL_FIGURES:
+            print(f"unknown figure {name!r}", file=sys.stderr)
+            return 2
+        func = figures.ALL_FIGURES[name]
+        try:
+            figure = func(runner=runner)  # type: ignore[call-arg]
+        except TypeError:
+            figure = func()
+        (out_dir / f"{name}.txt").write_text(figure.as_text() + "\n")
+        (out_dir / f"{name}.csv").write_text(figure.as_csv() + "\n")
+        print(figure.as_text())
+        print()
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.gpu.profiler import profile_workload
+
+    workload = build_workload(args.workload, sim=True)
+    profiles = profile_workload(workload, frames=args.frames)
+    profile = profiles[-1]
+    rows = [
+        [
+            d.index,
+            d.mesh if len(d.mesh) < 36 else "..." + d.mesh[-33:],
+            d.pass_kind,
+            d.triangles_traversed,
+            d.fragments_rasterized,
+            d.fragments_shaded,
+            round(d.memory_bytes / 1024.0, 1),
+        ]
+        for d in profile.heaviest(args.top, by=args.sort)
+    ]
+    print(
+        format_table(
+            ["#", "mesh", "pass", "tris", "frags", "shaded", "KB moved"],
+            rows,
+            title=f"Heaviest {args.top} draws of frame {profile.frame} "
+            f"({args.workload}, sorted by {args.sort})",
+        )
+    )
+    kinds = profile.by_pass_kind()
+    total = sum(kinds.values()) or 1
+    print()
+    for kind, nbytes in sorted(kinds.items(), key=lambda kv: -kv[1]):
+        print(f"  {kind:14s} {100 * nbytes / total:5.1f}% of draw memory traffic")
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.experiments.scorecard import experiments_markdown
+
+    runner = _make_runner(args)
+    markdown = experiments_markdown(runner)
+    out = pathlib.Path(args.output)
+    out.write_text(markdown + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Workload Characterization of 3D Games (IISWC 2006) "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads").set_defaults(
+        func=_cmd_list
+    )
+
+    p = sub.add_parser("characterize", help="API-level statistics")
+    p.add_argument("workload")
+    p.add_argument("--frames", type=int, default=120)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("simulate", help="microarchitectural simulation")
+    p.add_argument("workload")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--ppm", help="also write a rendered frame here")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("trace", help="dump a workload trace to JSONL")
+    p.add_argument("workload")
+    p.add_argument("output")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--sim-profile", action="store_true")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("replay", help="replay a JSONL trace")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("profile", help="per-draw profiler (NVPerfHUD-style)")
+    p.add_argument("workload")
+    p.add_argument("--frames", type=int, default=2)
+    p.add_argument("--top", type=int, default=12)
+    p.add_argument(
+        "--sort",
+        default="memory_bytes",
+        choices=["memory_bytes", "fragments_rasterized", "fragments_shaded",
+                 "triangles_traversed", "bilinear_samples"],
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "scorecard", help="regenerate EXPERIMENTS.md (measured vs paper)"
+    )
+    p.add_argument("--output", default="EXPERIMENTS.md")
+    p.add_argument("--api-frames", type=int, default=120)
+    p.add_argument("--sim-frames", type=int, default=6)
+    p.add_argument("--geometry-frames", type=int, default=60)
+    p.set_defaults(func=_cmd_scorecard)
+
+    for name, func, help_text in (
+        ("tables", _cmd_tables, "regenerate paper tables"),
+        ("figures", _cmd_figures, "regenerate paper figures"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--out-dir", default="results")
+        p.add_argument("--only", nargs="*", help="subset, e.g. table3 table9")
+        p.add_argument("--api-frames", type=int, default=120)
+        p.add_argument("--sim-frames", type=int, default=4)
+        p.add_argument("--geometry-frames", type=int, default=60)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

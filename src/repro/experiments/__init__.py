@@ -1,0 +1,22 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``repro.experiments.tables`` and ``repro.experiments.figures`` contain one
+function per exhibit; ``repro.experiments.paper`` holds the published values
+they are compared against; ``repro.experiments.runner`` caches the underlying
+API-statistics and simulation runs so all exhibits share them.
+"""
+
+from repro.experiments.runner import Runner, default_runner, ExperimentConfig
+from repro.experiments.report import Comparison
+from repro.experiments import tables, figures, paper, scorecard
+
+__all__ = [
+    "Runner",
+    "default_runner",
+    "ExperimentConfig",
+    "Comparison",
+    "tables",
+    "figures",
+    "paper",
+    "scorecard",
+]

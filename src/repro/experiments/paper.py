@@ -1,0 +1,203 @@
+"""Published values from 'Workload Characterization of 3D Games' (IISWC'06).
+
+Transcribed from the paper's Tables I and III-XVII.  These are the reference
+numbers every reproduction run is compared against.
+"""
+
+from __future__ import annotations
+
+#: Workload order as printed in the paper's tables.
+WORKLOAD_ORDER = [
+    "UT2004/Primeval",
+    "Doom3/trdemo1",
+    "Doom3/trdemo2",
+    "Quake4/demo4",
+    "Quake4/guru5",
+    "Riddick/MainFrame",
+    "Riddick/PrisonArea",
+    "FEAR/built-in demo",
+    "FEAR/interval2",
+    "Half Life 2 LC/built-in",
+    "Oblivion/Anvil Castle",
+    "Splinter Cell 3/first level",
+]
+
+#: The three workloads replayed on ATTILA.
+SIMULATED = ["UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4"]
+
+# Table I: frames, duration (s at 30 fps), texture quality, aniso, shaders.
+TABLE1 = {
+    "UT2004/Primeval": (1992, 66, "High/Anisotropic", 16, False),
+    "Doom3/trdemo1": (3464, 115, "High/Anisotropic", 16, True),
+    "Doom3/trdemo2": (3990, 133, "High/Anisotropic", 16, True),
+    "Quake4/demo4": (2976, 99, "High/Anisotropic", 16, True),
+    "Quake4/guru5": (3081, 103, "High/Anisotropic", 16, True),
+    "Riddick/MainFrame": (1629, 54, "High/Trilinear", None, True),
+    "Riddick/PrisonArea": (2310, 77, "High/Trilinear", None, True),
+    "FEAR/built-in demo": (576, 19, "High/Anisotropic", 16, True),
+    "FEAR/interval2": (2102, 70, "High/Anisotropic", 16, True),
+    "Half Life 2 LC/built-in": (1805, 60, "High/Anisotropic", 16, True),
+    "Oblivion/Anvil Castle": (2620, 87, "High/Trilinear", None, True),
+    "Splinter Cell 3/first level": (2970, 99, "High/Anisotropic", 16, True),
+}
+
+# Table III: avg indices/batch, avg indices/frame, bytes/index, MB/s @100fps.
+TABLE3 = {
+    "UT2004/Primeval": (1110, 249285, 2, 50),
+    "Doom3/trdemo1": (275, 196416, 4, 79),
+    "Doom3/trdemo2": (304, 136548, 4, 55),
+    "Quake4/demo4": (405, 172330, 4, 69),
+    "Quake4/guru5": (166, 135051, 4, 54),
+    "Riddick/MainFrame": (356, 214965, 2, 43),
+    "Riddick/PrisonArea": (658, 239425, 2, 48),
+    "FEAR/built-in demo": (641, 331374, 2, 66),
+    "FEAR/interval2": (1085, 307202, 2, 61),
+    "Half Life 2 LC/built-in": (736, 328919, 2, 66),
+    "Oblivion/Anvil Castle": (998, 711196, 2, 142),
+    "Splinter Cell 3/first level": (308, 177300, 2, 35),
+}
+
+# Table IV: average vertex shader instructions (Oblivion has two regions).
+TABLE4 = {
+    "UT2004/Primeval": 23.46,
+    "Doom3/trdemo1": 20.31,
+    "Doom3/trdemo2": 19.35,
+    "Quake4/demo4": 27.92,
+    "Quake4/guru5": 24.42,
+    "Riddick/MainFrame": 16.70,
+    "Riddick/PrisonArea": 20.96,
+    "FEAR/built-in demo": 18.19,
+    "FEAR/interval2": 21.02,
+    "Half Life 2 LC/built-in": 27.04,
+    "Oblivion/Anvil Castle": (18.88, 37.72),  # region 1, region 2
+    "Splinter Cell 3/first level": 28.36,
+}
+
+# Table V: TL%, TS%, TF%, avg primitives per frame.
+TABLE5 = {
+    "UT2004/Primeval": (99.9, 0.0, 0.1, 83095),
+    "Doom3/trdemo1": (100.0, 0.0, 0.0, 65472),
+    "Doom3/trdemo2": (100.0, 0.0, 0.0, 45516),
+    "Quake4/demo4": (100.0, 0.0, 0.0, 57443),
+    "Quake4/guru5": (100.0, 0.0, 0.0, 45017),
+    "Riddick/MainFrame": (100.0, 0.0, 0.0, 71655),
+    "Riddick/PrisonArea": (100.0, 0.0, 0.0, 79808),
+    "FEAR/built-in demo": (100.0, 0.0, 0.0, 110458),
+    "FEAR/interval2": (96.7, 0.0, 3.3, 102402),
+    "Half Life 2 LC/built-in": (100.0, 0.0, 0.0, 109640),
+    "Oblivion/Anvil Castle": (46.3, 53.7, 0.0, 551694),
+    "Splinter Cell 3/first level": (69.1, 26.7, 4.2, 107494),
+}
+
+# Table VI: bus, width, speed, bandwidth (GB/s).
+TABLE6 = [
+    ("AGP 4X", "32 bits", "66x4 MHz", 1.056),
+    ("AGP 8X", "32 bits", "66x8 MHz", 2.112),
+    ("PCI Express x4 lanes", "1 bit", "2.5 Gbaud x 4", 1.0),
+    ("PCI Express x8 lanes", "1 bit", "2.5 Gbaud x 8", 2.0),
+    ("PCI Express x16 lanes", "1 bit", "2.5 Gbaud x 16", 4.0),
+]
+
+# Table VII: % clipped / culled / traversed.
+TABLE7 = {
+    "UT2004/Primeval": (30.0, 21.0, 49.0),
+    "Doom3/trdemo2": (37.0, 28.0, 35.0),
+    "Quake4/demo4": (51.0, 21.0, 28.0),
+}
+
+# Table VIII: avg triangle size (fragments) at raster / z&st / shading / blend.
+TABLE8 = {
+    "UT2004/Primeval": (652, 417, 510, 411),
+    "Doom3/trdemo2": (2117, 1651, 1027, 1024),
+    "Quake4/demo4": (1232, 749, 411, 406),
+}
+
+# Table IX: % quads HZ / Z&Stencil / Alpha / Color Mask / Blending.
+TABLE9 = {
+    "UT2004/Primeval": (37.50, 2.42, 4.15, 0.0, 55.93),
+    "Doom3/trdemo2": (33.95, 13.81, 0.03, 34.48, 17.73),
+    "Quake4/demo4": (41.81, 20.57, 0.32, 19.00, 18.30),
+}
+
+# Table X: % complete quads at raster / z&stencil.
+TABLE10 = {
+    "UT2004/Primeval": (91.5, 93.0),
+    "Doom3/trdemo2": (93.1, 95.0),
+    "Quake4/demo4": (92.0, 92.7),
+}
+
+# Table XI: overdraw at raster / z&st / shading / blending.
+TABLE11 = {
+    "UT2004/Primeval": (8.94, 5.22, 5.52, 5.00),
+    "Doom3/trdemo2": (24.58, 16.22, 4.38, 4.36),
+    "Quake4/demo4": (24.39, 14.12, 4.55, 4.46),
+}
+
+# Table XII: avg instructions, texture instructions, ALU:TEX ratio.
+TABLE12 = {
+    "UT2004/Primeval": (4.63, 1.54, 2.01),
+    "Doom3/trdemo1": (12.85, 3.98, 2.23),
+    "Doom3/trdemo2": (12.95, 3.98, 2.25),
+    "Quake4/demo4": (16.29, 4.33, 2.76),
+    "Quake4/guru5": (17.16, 4.54, 2.78),
+    "Riddick/MainFrame": (14.64, 1.94, 6.55),
+    "Riddick/PrisonArea": (13.63, 1.83, 6.45),
+    "FEAR/built-in demo": (21.30, 2.79, 6.63),
+    "FEAR/interval2": (19.31, 2.72, 6.10),
+    "Half Life 2 LC/built-in": (19.94, 3.88, 4.14),
+    "Oblivion/Anvil Castle": (15.48, 1.36, 10.38),
+    "Splinter Cell 3/first level": (4.62, 2.13, 1.17),
+}
+
+# Table XIII: bilinear samples per request, ALU instrs per bilinear request.
+TABLE13 = {
+    "UT2004/Primeval": (5.15, 0.39),
+    "Doom3/trdemo2": (4.37, 0.52),
+    "Quake4/demo4": (4.67, 0.59),
+}
+
+# Table XIV: cache -> (size, organization, {workload: hit rate %}).
+# The paper prints hit rates in the order Doom3/tr2, Quake4/d4, UT2004.
+TABLE14 = {
+    "zstencil": ("16 KB", "64w x 256B", {
+        "Doom3/trdemo2": 91.0, "Quake4/demo4": 93.4, "UT2004/Primeval": 93.9,
+    }),
+    "texture_l0": ("4 KB", "64w x 64B", {
+        "Doom3/trdemo2": 99.2, "Quake4/demo4": 99.3, "UT2004/Primeval": 97.7,
+    }),
+    "texture_l1": ("16 KB", "16w x 16s x 64B", {}),
+    "color": ("16 KB", "64w x 256B", {
+        "Doom3/trdemo2": 93.2, "Quake4/demo4": 93.2, "UT2004/Primeval": 93.7,
+    }),
+}
+
+# Table XV: MB/frame, %read, %write, GB/s @ 100 fps.
+TABLE15 = {
+    "UT2004/Primeval": (81, 73, 27, 8),
+    "Doom3/trdemo2": (108, 63, 37, 11),
+    "Quake4/demo4": (101, 62, 38, 10),
+}
+
+# Table XVI: % of traffic per client Vertex/Z&St/Texture/Color/DAC/CP.
+TABLE16 = {
+    "UT2004/Primeval": (3.9, 15.2, 41.7, 35.2, 3.5, 0.5),
+    "Doom3/trdemo2": (2.5, 53.5, 26.1, 14.8, 2.1, 1.1),
+    "Quake4/demo4": (4.2, 51.4, 23.0, 17.4, 2.7, 1.3),
+}
+
+# Table XVII: bytes per shaded vertex / per fragment at Z&St, shading, color.
+TABLE17 = {
+    "UT2004/Primeval": (50.18, 3.14, 7.71, 7.40),
+    "Doom3/trdemo2": (50.88, 4.61, 8.31, 4.60),
+    "Quake4/demo4": (67.60, 4.48, 6.68, 5.11),
+}
+
+# Section III.C: fraction of z-killable quads that HZ removes early.
+HZ_EFFECTIVENESS = {
+    "UT2004/Primeval": 0.90,
+    "Doom3/trdemo2": 0.60,
+    "Quake4/demo4": 0.50,
+}
+
+#: The theoretical post-transform cache hit rate for adjacent triangles.
+VERTEX_CACHE_THEORETICAL = 2.0 / 3.0

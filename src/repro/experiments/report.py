@@ -1,0 +1,68 @@
+"""Comparison rendering: measured vs paper, as aligned text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class Comparison:
+    """One reproduced exhibit: headers, rows of cells, optional notes.
+
+    A cell is either a plain value or a ``(measured, paper)`` pair, rendered
+    as ``measured (paper)`` so the comparison is visible inline.
+    """
+
+    exhibit: str  # e.g. "Table III"
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def rendered_rows(self) -> list[list[str]]:
+        out = []
+        for row in self.rows:
+            out.append([_render_cell(cell) for cell in row])
+        return out
+
+    def as_text(self) -> str:
+        body = format_table(
+            self.headers,
+            self.rendered_rows(),
+            title=f"{self.exhibit}: {self.title} — measured (paper)",
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def measured(self, row: int, col: int):
+        """The measured part of a cell (pairs) or the plain value."""
+        cell = self.rows[row][col]
+        if isinstance(cell, tuple) and len(cell) == 2:
+            return cell[0]
+        return cell
+
+
+def _render_cell(cell) -> str:
+    if isinstance(cell, tuple) and len(cell) == 2:
+        measured, published = cell
+        return f"{_fmt(measured)} ({_fmt(published)})"
+    return _fmt(cell)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 10000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,100 @@
+"""Shared, cached execution of the underlying measurement runs.
+
+Many exhibits read the same three simulations and twelve API-statistics
+passes; the runner executes each once per process and caches the results.
+Frame counts are configurable (environment variables ``REPRO_API_FRAMES``,
+``REPRO_SIM_FRAMES``, ``REPRO_GEOM_FRAMES`` override the defaults) — more
+frames tighten the statistics at proportional cost.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.api.stats import WorkloadApiStats
+from repro.gpu.pipeline import SimulationResult
+from repro.workloads import build_workload
+from repro.workloads.generator import GameWorkload
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Frame budgets for the three kinds of measurement runs.
+
+    Defaults read the environment at construction time so test/CI runs can
+    shrink the budgets without touching code.
+    """
+
+    api_frames: int = field(
+        default_factory=lambda: _env_int("REPRO_API_FRAMES", 160)
+    )
+    sim_frames: int = field(
+        default_factory=lambda: _env_int("REPRO_SIM_FRAMES", 6)
+    )
+    geometry_frames: int = field(
+        default_factory=lambda: _env_int("REPRO_GEOM_FRAMES", 120)
+    )
+
+
+class Runner:
+    """Executes and caches API/simulation runs for the experiment functions."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+        self._api: dict[str, WorkloadApiStats] = {}
+        self._sim: dict[str, SimulationResult] = {}
+        self._geometry: dict[str, SimulationResult] = {}
+        self._workloads: dict[tuple[str, bool], GameWorkload] = {}
+
+    def workload(self, name: str, sim: bool = False) -> GameWorkload:
+        key = (name, sim)
+        if key not in self._workloads:
+            self._workloads[key] = build_workload(name, sim=sim)
+        return self._workloads[key]
+
+    def api(self, name: str) -> WorkloadApiStats:
+        """Full-profile API statistics (Tables III-V, XII; Figs. 1-3, 8)."""
+        if name not in self._api:
+            self._api[name] = self.workload(name).api_stats(
+                frames=self.config.api_frames
+            )
+        return self._api[name]
+
+    def sim(self, name: str) -> SimulationResult:
+        """Full-pipeline simulation on the reduced profile (Tables VIII-XVII)."""
+        if name not in self._sim:
+            wl = self.workload(name, sim=True)
+            self._sim[name] = wl.simulate(frames=self.config.sim_frames)
+        return self._sim[name]
+
+    def geometry(self, name: str) -> SimulationResult:
+        """Geometry-only simulation over more frames (Table VII, Figs. 5-6)."""
+        if name not in self._geometry:
+            wl = self.workload(name, sim=True)
+            self._geometry[name] = wl.simulate(
+                frames=self.config.geometry_frames, fragment_stages=False
+            )
+        return self._geometry[name]
+
+    def clear(self) -> None:
+        self._api.clear()
+        self._sim.clear()
+        self._geometry.clear()
+        self._workloads.clear()
+
+
+_DEFAULT: Runner | None = None
+
+
+def default_runner() -> Runner:
+    """Process-wide shared runner (what the benchmarks use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Runner()
+    return _DEFAULT

@@ -1,0 +1,219 @@
+"""Reproduction scorecard: quantified measured-vs-paper agreement.
+
+Walks every table comparison, extracts the (measured, published) pairs,
+computes per-exhibit relative errors, and renders both a JSON record and the
+EXPERIMENTS.md markdown report.  This is how the repository's top-level
+claim ("API statistics reproduce near-exactly; microarchitectural results
+reproduce in shape") is kept honest and regenerable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.experiments import figures, tables
+from repro.experiments.report import Comparison
+from repro.experiments.runner import Runner, default_runner
+
+#: Exhibits whose magnitudes are scale-bound at the reduced simulation
+#: profile (documented in DESIGN.md); their errors are reported but labelled.
+SCALE_BOUND = {"table8", "table15", "table17"}
+
+#: Exhibits that are configuration echoes (no measurement involved).
+CONFIG_ONLY = {"table1", "table2", "table6"}
+
+#: Per-column error modes. Distribution/percentage columns compare in
+#: percentage points (|measured - published| / 100), which is the meaningful
+#: metric for shares; everything else compares relative to the published
+#: magnitude. Columns listed per comparison-pair position within a row.
+COLUMN_MODES: dict[str, list[str]] = {
+    "table5": ["pts", "pts", "pts", "rel"],
+    "table7": ["pts", "pts", "pts"],
+    "table9": ["pts", "pts", "pts", "pts", "pts"],
+    "table10": ["pts", "pts"],
+    "table14": ["pts", "pts", "pts"],
+    "table15": ["rel", "pts", "pts", "rel"],
+    "table16": ["pts", "pts", "pts", "pts", "pts", "pts"],
+}
+
+
+@dataclass
+class ExhibitScore:
+    exhibit: str
+    title: str
+    pairs: int
+    mean_rel_error: float
+    worst_rel_error: float
+    scale_bound: bool = False
+    config_only: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def grade(self) -> str:
+        """Coarse agreement label used in EXPERIMENTS.md."""
+        if self.config_only:
+            return "exact (configuration)"
+        if self.pairs == 0:
+            return "qualitative"
+        error = self.mean_rel_error
+        if error < 0.05:
+            return "excellent (<5%)"
+        if error < 0.15:
+            return "good (<15%)"
+        if error < 0.40:
+            return "fair (<40%)"
+        return "shape only" if self.scale_bound else "divergent"
+
+
+def _comparison_pairs(comparison: Comparison) -> list[tuple[float, float]]:
+    pairs = []
+    for row in comparison.rows:
+        for cell in row:
+            if (
+                isinstance(cell, tuple)
+                and len(cell) == 2
+                and isinstance(cell[0], (int, float))
+                and isinstance(cell[1], (int, float))
+            ):
+                pairs.append((float(cell[0]), float(cell[1])))
+    return pairs
+
+
+def score_comparison(name: str, comparison: Comparison) -> ExhibitScore:
+    modes = COLUMN_MODES.get(name)
+    errors: list[float] = []
+    pairs: list[tuple[float, float]] = []
+    for row in comparison.rows:
+        position = 0
+        for cell in row:
+            if not (
+                isinstance(cell, tuple)
+                and len(cell) == 2
+                and isinstance(cell[0], (int, float))
+                and isinstance(cell[1], (int, float))
+            ):
+                continue
+            measured, published = float(cell[0]), float(cell[1])
+            pairs.append((measured, published))
+            mode = "rel"
+            if modes and position < len(modes):
+                mode = modes[position]
+            if mode == "pts":
+                errors.append(abs(measured - published) / 100.0)
+            else:
+                scale = max(abs(published), 1.0)
+                errors.append(abs(measured - published) / scale)
+            position += 1
+    mean_error = sum(errors) / len(errors) if errors else 0.0
+    worst = max(errors) if errors else 0.0
+    return ExhibitScore(
+        exhibit=comparison.exhibit,
+        title=comparison.title,
+        pairs=len(pairs),
+        mean_rel_error=mean_error,
+        worst_rel_error=worst,
+        scale_bound=name in SCALE_BOUND,
+        config_only=name in CONFIG_ONLY,
+        notes=list(comparison.notes),
+    )
+
+
+def build_scorecard(runner: Runner | None = None) -> list[ExhibitScore]:
+    """Score every table against the paper (figures are shape-only)."""
+    runner = runner or default_runner()
+    scores = []
+    for name, func in tables.ALL_TABLES.items():
+        try:
+            comparison = func(runner=runner)  # type: ignore[call-arg]
+        except TypeError:
+            comparison = func()
+        scores.append(score_comparison(name, comparison))
+    return scores
+
+
+def scorecard_json(scores: list[ExhibitScore]) -> str:
+    return json.dumps(
+        [
+            {
+                "exhibit": s.exhibit,
+                "title": s.title,
+                "pairs": s.pairs,
+                "mean_rel_error": round(s.mean_rel_error, 4),
+                "worst_rel_error": round(s.worst_rel_error, 4),
+                "grade": s.grade,
+                "scale_bound": s.scale_bound,
+            }
+            for s in scores
+        ],
+        indent=2,
+    )
+
+
+def experiments_markdown(
+    runner: Runner | None = None,
+    include_figures: bool = True,
+) -> str:
+    """Render the full EXPERIMENTS.md: scorecard + every exhibit's table."""
+    runner = runner or default_runner()
+    scores = build_scorecard(runner)
+    lines = [
+        "# EXPERIMENTS — measured vs paper",
+        "",
+        "Regenerate this file with "
+        "`python -m repro tables` / `python -m repro figures`, or "
+        "programmatically via `repro.experiments.scorecard."
+        "experiments_markdown()`.",
+        "",
+        f"Measurement budgets: {runner.config.api_frames} API frames per "
+        f"workload, {runner.config.sim_frames} simulated frames and "
+        f"{runner.config.geometry_frames} geometry-only frames per OpenGL "
+        "workload (reduced-scale simulation profile; see DESIGN.md).",
+        "",
+        "## Scorecard",
+        "",
+        "| Exhibit | Title | Compared values | Mean rel. error | Grade |",
+        "|---|---|---|---|---|",
+    ]
+    for score in scores:
+        error = (
+            "-" if score.config_only or score.pairs == 0
+            else f"{100 * score.mean_rel_error:.1f}%"
+        )
+        lines.append(
+            f"| {score.exhibit} | {score.title} | {score.pairs} | "
+            f"{error} | {score.grade} |"
+        )
+    lines.extend(
+        [
+            "",
+            "Scale-bound exhibits (triangle sizes, MB/frame) run on the "
+            "reduced simulation profile and are graded on shape; see the "
+            "per-exhibit notes.",
+            "",
+            "## Tables",
+            "",
+        ]
+    )
+    for name, func in tables.ALL_TABLES.items():
+        try:
+            comparison = func(runner=runner)  # type: ignore[call-arg]
+        except TypeError:
+            comparison = func()
+        lines.append("```")
+        lines.append(comparison.as_text())
+        lines.append("```")
+        lines.append("")
+    if include_figures:
+        lines.append("## Figures")
+        lines.append("")
+        for name, func in figures.ALL_FIGURES.items():
+            try:
+                figure = func(runner=runner)  # type: ignore[call-arg]
+            except TypeError:
+                figure = func()
+            lines.append("```")
+            lines.append(figure.as_text())
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)

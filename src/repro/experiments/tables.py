@@ -1,0 +1,467 @@
+"""One function per paper table, returning a measured-vs-paper Comparison."""
+
+from __future__ import annotations
+
+from repro.experiments import paper
+from repro.experiments.report import Comparison
+from repro.experiments.runner import Runner, default_runner
+from repro.geometry.primitives import PrimitiveType
+from repro.gpu.config import GpuConfig
+from repro.gpu.stats import MemClient, QuadFate
+from repro.workloads import workload as workload_spec
+
+
+def table1(runner: Runner | None = None) -> Comparison:
+    """Table I: game workload description (registry metadata)."""
+    comparison = Comparison(
+        "Table I",
+        "Game workload description",
+        ["Game/Timedemo", "Frames", "Duration @30fps", "Texture quality",
+         "Aniso", "Shaders", "API", "Engine", "Release"],
+    )
+    for name in paper.WORKLOAD_ORDER:
+        spec = workload_spec(name)
+        frames, duration, quality, aniso, shaders = paper.TABLE1[name]
+        comparison.rows.append(
+            [
+                name,
+                (spec.frames, frames),
+                (spec.duration_s, float(duration)),
+                spec.texture_quality,
+                f"{spec.aniso_level}X" if spec.aniso_level else "-",
+                "YES" if spec.uses_shaders else "NO",
+                spec.api.value,
+                spec.engine,
+                spec.release,
+            ]
+        )
+    return comparison
+
+
+def table2(config: GpuConfig | None = None) -> Comparison:
+    """Table II: ATTILA configuration vs the reference R520."""
+    config = config or GpuConfig.r520()
+    comparison = Comparison(
+        "Table II",
+        "Simulator configuration",
+        ["Parameter", "R520", "This simulator"],
+    )
+    comparison.rows.extend(list(row) for row in config.table2_rows())
+    return comparison
+
+
+def table3(runner: Runner | None = None) -> Comparison:
+    """Table III: average indices per batch/frame and index bandwidth."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table III",
+        "Average indices per batch and frame, index BW @100fps",
+        ["Game/Timedemo", "idx/batch", "idx/frame", "bytes/idx", "MB/s @100fps"],
+    )
+    for name in paper.WORKLOAD_ORDER:
+        stats = runner.api(name)
+        per_batch, per_frame, bytes_idx, mbs = paper.TABLE3[name]
+        comparison.rows.append(
+            [
+                name,
+                (stats.avg_indices_per_batch, per_batch),
+                (stats.avg_indices_per_frame, per_frame),
+                (stats.index_size_bytes, bytes_idx),
+                (stats.index_bandwidth_bytes_per_s(100.0) / 1e6, mbs),
+            ]
+        )
+    return comparison
+
+
+def table4(runner: Runner | None = None) -> Comparison:
+    """Table IV: average vertex shader instructions per vertex."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table IV",
+        "Average vertex shader instructions",
+        ["Game/Timedemo", "Vertex instructions"],
+    )
+    for name in paper.WORKLOAD_ORDER:
+        stats = runner.api(name)
+        target = paper.TABLE4[name]
+        if isinstance(target, tuple):
+            # Oblivion: two regions; compare the per-region averages.
+            half = len(stats.frames) // 2
+            region1 = _avg_vertex(stats.frames[:half])
+            region2 = _avg_vertex(stats.frames[half:])
+            comparison.rows.append(
+                [name + " (reg1)", (region1, target[0])]
+            )
+            comparison.rows.append(
+                [name + " (reg2)", (region2, target[1])]
+            )
+        else:
+            comparison.rows.append(
+                [name, (stats.avg_vertex_instructions, target)]
+            )
+    return comparison
+
+
+def _avg_vertex(frames) -> float:
+    weight = sum(f.vertex_weight for f in frames)
+    if weight == 0:
+        return 0.0
+    return sum(f.vertex_instr_weighted for f in frames) / weight
+
+
+def table5(runner: Runner | None = None) -> Comparison:
+    """Table V: primitive utilization and primitives per frame."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table V",
+        "Primitive utilization",
+        ["Game/Timedemo", "TL %", "TS %", "TF %", "prims/frame"],
+    )
+    for name in paper.WORKLOAD_ORDER:
+        stats = runner.api(name)
+        share = stats.primitive_share
+        tl, ts, tf, prims = paper.TABLE5[name]
+        comparison.rows.append(
+            [
+                name,
+                (100 * share.get(PrimitiveType.TRIANGLE_LIST, 0.0), tl),
+                (100 * share.get(PrimitiveType.TRIANGLE_STRIP, 0.0), ts),
+                (100 * share.get(PrimitiveType.TRIANGLE_FAN, 0.0), tf),
+                (stats.avg_primitives_per_frame, prims),
+            ]
+        )
+    return comparison
+
+
+def table6() -> Comparison:
+    """Table VI: system bus bandwidths (reference model, no measurement)."""
+    comparison = Comparison(
+        "Table VI",
+        "Current system bus bandwidths",
+        ["Bus", "Width", "Bus speed", "GB/s"],
+    )
+    for bus, width, speed, gbs in paper.TABLE6:
+        measured = _bus_bandwidth_gbs(bus)
+        comparison.rows.append([bus, width, speed, (measured, gbs)])
+    comparison.notes.append(
+        "computed from first principles: clocks x width (AGP) or "
+        "2.5 Gbaud x lanes x 8b/10b (PCIe)"
+    )
+    return comparison
+
+
+def _bus_bandwidth_gbs(bus: str) -> float:
+    if bus.startswith("AGP"):
+        multiplier = int(bus.split()[1][:-1])
+        return 66e6 * multiplier * 4 / 1e9  # 32-bit wide
+    lanes = int(bus.rsplit("x", 1)[1].split()[0])
+    return 2.5e9 * lanes * (8 / 10) / 8 / 1e9
+
+
+def table7(runner: Runner | None = None) -> Comparison:
+    """Table VII: % clipped / culled / traversed triangles."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table VII",
+        "Percentage of clipped, culled and traversed triangles",
+        ["Game/Timedemo", "% clipped", "% culled", "% traversed"],
+    )
+    for name in paper.SIMULATED:
+        stats = runner.geometry(name).stats
+        clipped, culled, traversed = stats.clip_cull_traverse_percent
+        p_clip, p_cull, p_trav = paper.TABLE7[name]
+        comparison.rows.append(
+            [name, (clipped, p_clip), (culled, p_cull), (traversed, p_trav)]
+        )
+    return comparison
+
+
+def table8(runner: Runner | None = None) -> Comparison:
+    """Table VIII: average triangle size (fragments) per stage."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table VIII",
+        "Average triangle size in fragments",
+        ["Game/Timedemo", "Raster", "Z&Stencil", "Shading", "Blending"],
+    )
+    for name in paper.SIMULATED:
+        stats = runner.sim(name).stats
+        p = paper.TABLE8[name]
+        comparison.rows.append(
+            [
+                name,
+                (stats.avg_triangle_size("raster"), p[0]),
+                (stats.avg_triangle_size("zstencil"), p[1]),
+                (stats.avg_triangle_size("shaded"), p[2]),
+                (stats.avg_triangle_size("blended"), p[3]),
+            ]
+        )
+    comparison.notes.append(
+        "simulated at reduced resolution/geometry; compare relative sizes"
+    )
+    return comparison
+
+
+def table9(runner: Runner | None = None) -> Comparison:
+    """Table IX: % of quads removed or processed at each stage."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table IX",
+        "Percentage of removed or processed quads at each stage",
+        ["Game/Timedemo", "HZ", "Z&Stencil", "Alpha", "Color Mask", "Blending"],
+    )
+    for name in paper.SIMULATED:
+        fates = runner.sim(name).stats.quad_fate_percent
+        p = paper.TABLE9[name]
+        comparison.rows.append(
+            [
+                name,
+                (fates[QuadFate.HZ], p[0]),
+                (fates[QuadFate.ZSTENCIL], p[1]),
+                (fates[QuadFate.ALPHA], p[2]),
+                (fates[QuadFate.COLOR_MASK], p[3]),
+                (fates[QuadFate.BLENDED], p[4]),
+            ]
+        )
+    return comparison
+
+
+def table10(runner: Runner | None = None) -> Comparison:
+    """Table X: quad efficiency (% complete quads)."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table X",
+        "Quad efficiency (% complete quads)",
+        ["Game/Timedemo", "Raster", "Z&Stencil"],
+    )
+    for name in paper.SIMULATED:
+        stats = runner.sim(name).stats
+        p = paper.TABLE10[name]
+        comparison.rows.append(
+            [
+                name,
+                (100 * stats.quad_efficiency_raster, p[0]),
+                (100 * stats.quad_efficiency_zstencil, p[1]),
+            ]
+        )
+    return comparison
+
+
+def table11(runner: Runner | None = None) -> Comparison:
+    """Table XI: average overdraw per pixel and stage."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XI",
+        "Average overdraw per pixel and stage",
+        ["Game/Timedemo", "Raster", "Z&Stencil", "Shading", "Blending"],
+    )
+    for name in paper.SIMULATED:
+        result = runner.sim(name)
+        p = paper.TABLE11[name]
+        comparison.rows.append(
+            [
+                name,
+                (result.overdraw("raster"), p[0]),
+                (result.overdraw("zstencil"), p[1]),
+                (result.overdraw("shaded"), p[2]),
+                (result.overdraw("blended"), p[3]),
+            ]
+        )
+    return comparison
+
+
+def table12(runner: Runner | None = None) -> Comparison:
+    """Table XII: fragment program instructions / texture / ALU:TEX ratio."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XII",
+        "Fragment program instructions and ALU to texture ratio",
+        ["Game/Timedemo", "Instructions", "Texture", "ALU:TEX"],
+    )
+    for name in paper.WORKLOAD_ORDER:
+        stats = runner.api(name)
+        p = paper.TABLE12[name]
+        comparison.rows.append(
+            [
+                name,
+                (stats.avg_fragment_instructions, p[0]),
+                (stats.avg_texture_instructions, p[1]),
+                (stats.alu_to_texture_ratio, p[2]),
+            ]
+        )
+    return comparison
+
+
+def table13(runner: Runner | None = None) -> Comparison:
+    """Table XIII: bilinear samples per request and ALU per bilinear."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XIII",
+        "Average bilinear samples and ALU to bilinear ratio",
+        ["Game/Timedemo", "Bilinears/request", "ALU instr/bilinear"],
+    )
+    for name in paper.SIMULATED:
+        stats = runner.sim(name).stats
+        p = paper.TABLE13[name]
+        comparison.rows.append(
+            [
+                name,
+                (stats.bilinears_per_texture_request, p[0]),
+                (stats.alu_per_bilinear, p[1]),
+            ]
+        )
+    return comparison
+
+
+def table14(runner: Runner | None = None) -> Comparison:
+    """Table XIV: cache configuration and hit rates."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XIV",
+        "Cache configuration and hit rate",
+        ["Cache", "Size (paper)", "Organization (paper)", "Size (sim)"]
+        + [f"{n.split('/')[0]}" for n in paper.SIMULATED],
+    )
+    sims = {name: runner.sim(name) for name in paper.SIMULATED}
+    any_config = next(iter(sims.values())).config
+    sim_caches = {
+        "zstencil": any_config.zstencil_cache,
+        "texture_l0": any_config.texture_l0,
+        "texture_l1": any_config.texture_l1,
+        "color": any_config.color_cache,
+    }
+    for cache_name, (size, organization, rates) in paper.TABLE14.items():
+        row = [
+            cache_name,
+            size,
+            organization,
+            f"{sim_caches[cache_name].size_bytes // 1024} KB "
+            f"({sim_caches[cache_name].describe()})",
+        ]
+        for name in paper.SIMULATED:
+            measured = 100 * sims[name].caches[cache_name].hit_rate
+            published = rates.get(name)
+            row.append((measured, published) if published else measured)
+        comparison.rows.append(row)
+    comparison.notes.append(
+        "caches scaled with the reduced framebuffer to preserve the "
+        "cache:screen footprint ratio (see DESIGN.md)"
+    )
+    return comparison
+
+
+def table15(runner: Runner | None = None) -> Comparison:
+    """Table XV: average memory usage profile."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XV",
+        "Average memory usage profile",
+        ["Game/Timedemo", "MB/frame", "% read", "% write", "GB/s @100fps"],
+    )
+    for name in paper.SIMULATED:
+        result = runner.sim(name)
+        mem = result.memory
+        frames = result.stats.frames
+        p = paper.TABLE15[name]
+        # Normalize MB/frame to the paper's 1024x768 pixel count so the
+        # magnitudes are comparable (per-pixel traffic dominates).
+        scale = (1024 * 768) / result.pixels
+        mb_frame = mem.bytes_per_frame(frames) * scale / 1e6
+        comparison.rows.append(
+            [
+                name,
+                (mb_frame, p[0]),
+                (100 * mem.read_fraction, p[1]),
+                (100 * (1 - mem.read_fraction), p[2]),
+                (mb_frame * 100 / 1e3, p[3]),
+            ]
+        )
+    comparison.notes.append(
+        "MB/frame scaled by the pixel ratio to the paper's 1024x768"
+    )
+    return comparison
+
+
+def table16(runner: Runner | None = None) -> Comparison:
+    """Table XVI: memory traffic distribution per GPU stage."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XVI",
+        "Memory traffic distribution per GPU stage (%)",
+        ["Game/Timedemo", "Vertex", "Z&Stencil", "Texture", "Color", "DAC", "CP"],
+    )
+    order = [
+        MemClient.VERTEX,
+        MemClient.ZSTENCIL,
+        MemClient.TEXTURE,
+        MemClient.COLOR,
+        MemClient.DAC,
+        MemClient.CP,
+    ]
+    for name in paper.SIMULATED:
+        distribution = runner.sim(name).memory.traffic_distribution
+        p = paper.TABLE16[name]
+        comparison.rows.append(
+            [name]
+            + [
+                (distribution[client], p[i])
+                for i, client in enumerate(order)
+            ]
+        )
+    return comparison
+
+
+def table17(runner: Runner | None = None) -> Comparison:
+    """Table XVII: bytes per shaded vertex and per fragment per stage."""
+    runner = runner or default_runner()
+    comparison = Comparison(
+        "Table XVII",
+        "Bytes per vertex and fragment",
+        ["Game/Timedemo", "Vertex", "Z&Stencil", "Shaded", "Color"],
+    )
+    for name in paper.SIMULATED:
+        result = runner.sim(name)
+        stats = result.stats
+        mem = result.memory
+        p = paper.TABLE17[name]
+
+        def per(client: MemClient, count: int) -> float:
+            return mem.client_bytes(client) / count if count else 0.0
+
+        comparison.rows.append(
+            [
+                name,
+                (per(MemClient.VERTEX, stats.vertices_shaded), p[0]),
+                (per(MemClient.ZSTENCIL, stats.fragments_zstencil), p[1]),
+                (per(MemClient.TEXTURE, stats.fragments_shaded), p[2]),
+                (per(MemClient.COLOR, stats.fragments_blended), p[3]),
+            ]
+        )
+    comparison.notes.append(
+        "scale-bound: per-fragment bytes depend on the cache:footprint "
+        "ratios of the reduced profile (DESIGN.md); color runs ~2x the "
+        "paper because the uniform-block compression rarely fires on the "
+        "synthetic additive lighting"
+    )
+    return comparison
+
+
+ALL_TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+    "table10": table10,
+    "table11": table11,
+    "table12": table12,
+    "table13": table13,
+    "table14": table14,
+    "table15": table15,
+    "table16": table16,
+    "table17": table17,
+}

@@ -1,0 +1,38 @@
+"""Geometry substrate: meshes, primitive assembly, procedural generators."""
+
+from repro.geometry.primitives import (
+    PrimitiveType,
+    primitive_count,
+    assemble_triangles,
+)
+from repro.geometry.mesh import Mesh, VertexLayout
+from repro.geometry.generators import (
+    grid_mesh,
+    box_mesh,
+    room_mesh,
+    terrain_mesh,
+    cylinder_mesh,
+    character_mesh,
+    extrude_shadow_volume,
+)
+from repro.geometry.optimize import (
+    optimize_for_vertex_cache,
+    simulate_vertex_cache,
+)
+
+__all__ = [
+    "PrimitiveType",
+    "primitive_count",
+    "assemble_triangles",
+    "Mesh",
+    "VertexLayout",
+    "grid_mesh",
+    "box_mesh",
+    "room_mesh",
+    "terrain_mesh",
+    "cylinder_mesh",
+    "character_mesh",
+    "extrude_shadow_volume",
+    "optimize_for_vertex_cache",
+    "simulate_vertex_cache",
+]

@@ -1,0 +1,120 @@
+"""Post-transform vertex cache simulation and index reordering.
+
+The paper (Section III.B, Fig. 5) explains the dominance of triangle lists by
+the post-transform vertex cache: a cache-friendly face ordering makes a list
+behave like a strip, reaching the theoretical 66% hit rate for adjacent
+triangles — and orderings from algorithms like Hoppe's [15] do even better.
+``optimize_for_vertex_cache`` implements Tipsify (Sander et al. 2007), a
+linear-time relative of those orderings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+def simulate_vertex_cache(
+    indices: np.ndarray,
+    cache_size: int = 16,
+    policy: str = "fifo",
+) -> float:
+    """Hit rate of a post-transform vertex cache over an index stream.
+
+    ``policy`` is ``"fifo"`` (what real GPUs of the R520 era used) or
+    ``"lru"``.  Returns hits / references.
+    """
+    indices = np.asarray(indices).reshape(-1)
+    if indices.size == 0:
+        return 0.0
+    if policy not in ("fifo", "lru"):
+        raise ValueError("policy must be 'fifo' or 'lru'")
+    cache: deque[int] = deque()
+    members: set[int] = set()
+    hits = 0
+    for raw in indices:
+        idx = int(raw)
+        if idx in members:
+            hits += 1
+            if policy == "lru":
+                cache.remove(idx)
+                cache.append(idx)
+            continue
+        cache.append(idx)
+        members.add(idx)
+        if len(cache) > cache_size:
+            members.discard(cache.popleft())
+    return hits / indices.size
+
+
+def optimize_for_vertex_cache(
+    triangles: np.ndarray,
+    cache_size: int = 16,
+) -> np.ndarray:
+    """Reorder ``(T, 3)`` triangles for post-transform cache locality.
+
+    Implements the Tipsify greedy: emit the triangles around a focus vertex,
+    then hop to the cached vertex with the best remaining fanout.  Returns the
+    reordered ``(T, 3)`` array (same triangles, new order).
+    """
+    triangles = np.asarray(triangles, dtype=np.int64).reshape(-1, 3)
+    tri_count = triangles.shape[0]
+    if tri_count == 0:
+        return triangles.copy()
+    vertex_count = int(triangles.max()) + 1
+
+    # vertex -> list of incident triangle ids
+    adjacency: list[list[int]] = [[] for _ in range(vertex_count)]
+    for t in range(tri_count):
+        for v in triangles[t]:
+            adjacency[int(v)].append(t)
+    live = [len(a) for a in adjacency]
+    emitted = np.zeros(tri_count, dtype=bool)
+    cache_time = np.full(vertex_count, -(cache_size + 1), dtype=np.int64)
+    order: list[int] = []
+    dead_stack: list[int] = []
+    time = cache_size + 1
+    cursor = 0
+    focus = 0
+
+    def next_focus(candidates: list[int]) -> int:
+        nonlocal cursor
+        best, best_score = -1, -1
+        for v in candidates:
+            if live[v] <= 0:
+                continue
+            # Will this vertex still be in cache after its fan is emitted?
+            pos = time - cache_time[v]
+            score = 1 if pos + 2 * live[v] <= cache_size else 0
+            if live[v] + score > best_score:
+                best, best_score = v, live[v] + score
+        if best >= 0:
+            return best
+        while dead_stack:
+            v = dead_stack.pop()
+            if live[v] > 0:
+                return v
+        while cursor < vertex_count and live[cursor] <= 0:
+            cursor += 1
+        return cursor if cursor < vertex_count else -1
+
+    while focus >= 0:
+        ring = [t for t in adjacency[focus] if not emitted[t]]
+        candidates: list[int] = []
+        for t in ring:
+            order.append(t)
+            emitted[t] = True
+            for v in (int(x) for x in triangles[t]):
+                live[v] -= 1
+                candidates.append(v)
+                dead_stack.append(v)
+                if time - cache_time[v] > cache_size:
+                    cache_time[v] = time
+                    time += 1
+        focus = next_focus(candidates)
+
+    if len(order) != tri_count:  # pragma: no cover - safety net
+        remaining = [t for t in range(tri_count) if not emitted[t]]
+        order.extend(remaining)
+    return triangles[np.asarray(order)]

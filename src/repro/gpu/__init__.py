@@ -1,0 +1,35 @@
+"""ATTILA-like functional GPU pipeline simulator.
+
+Executes API traces through the full rendering pipeline — vertex fetch and
+post-transform cache, vertex shading, primitive assembly, clip/cull, tiled
+edge-function rasterization, Hierarchical Z, Z/stencil with fast-clear and
+compression, fragment shading with KIL, mip/trilinear/anisotropic texturing
+through L0/L1 caches over DXT-compressed textures, and blend/color with
+fast-clear and compression — while attributing every event and byte to the
+counters behind the paper's Tables VII–XVII.
+"""
+
+from repro.gpu.config import GpuConfig, CacheConfig
+from repro.gpu.stats import GpuStats, FrameGpuStats, MemClient
+from repro.gpu.caches import Cache
+from repro.gpu.memory import MemoryController
+from repro.gpu.framebuffer import Framebuffer, BlockState
+from repro.gpu.texture import TextureResource, TextureUnit, TextureFormat, TextureFilter
+from repro.gpu.pipeline import GpuSimulator
+
+__all__ = [
+    "GpuConfig",
+    "CacheConfig",
+    "GpuStats",
+    "FrameGpuStats",
+    "MemClient",
+    "Cache",
+    "MemoryController",
+    "Framebuffer",
+    "BlockState",
+    "TextureResource",
+    "TextureUnit",
+    "TextureFormat",
+    "TextureFilter",
+    "GpuSimulator",
+]

@@ -1,0 +1,154 @@
+"""Set-associative LRU cache model.
+
+Used for the Z/stencil, color and texture (L0/L1) caches of Table XIV.  The
+model is a functional hit/miss simulator: ``access`` returns whether the line
+hit and which dirty line (if any) was evicted, so the calling stage can
+account the memory traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.config import CacheConfig
+
+
+@dataclass
+class StreamResult:
+    """Result of a streamed cache access run."""
+
+    misses: int
+    dirty_evictions: list[int]  # byte addresses of evicted dirty lines
+    miss_lines: list[int]  # line indices that missed, in reference order
+
+
+class Cache:
+    """LRU set-associative cache over block addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.config.line_bytes
+
+    def access(self, addr: int, write: bool = False) -> tuple[bool, int | None]:
+        """Access the line containing byte address ``addr``.
+
+        Returns ``(hit, evicted_dirty_line_addr)``; the evicted address is the
+        byte address of the first byte of a dirty victim line, or ``None``.
+        """
+        line = self.line_of(addr)
+        return self.access_line(line, write)
+
+    def access_line(self, line: int, write: bool = False) -> tuple[bool, int | None]:
+        """Like :meth:`access` but takes a pre-computed line index."""
+        cfg = self.config
+        cache_set = self._sets[line % cfg.sets]
+        if line in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(line)
+            if write:
+                cache_set[line] = True
+            return True, None
+        self.misses += 1
+        evicted = None
+        if len(cache_set) >= cfg.ways:
+            victim_line, dirty = cache_set.popitem(last=False)
+            if dirty:
+                evicted = victim_line * cfg.line_bytes
+        cache_set[line] = write
+        return False, evicted
+
+    def access_stream(
+        self, lines: np.ndarray, write: bool = False
+    ) -> "StreamResult":
+        """Run a whole line-index stream.
+
+        Consecutive duplicate lines are collapsed first — they are guaranteed
+        hits and dominate rasterization-order streams, which keeps the Python
+        loop short.  The collapsed references still count as hits so the
+        Table XIV hit rates reflect the real reference stream.
+        """
+        lines = np.asarray(lines).reshape(-1)
+        if lines.size == 0:
+            return StreamResult(0, [], [])
+        keep = np.empty(lines.shape, dtype=bool)
+        keep[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+        collapsed = lines[keep]
+        duplicate_hits = int(lines.size - collapsed.size)
+        self.hits += duplicate_hits
+        misses_before = self.misses
+        evictions: list[int] = []
+        miss_lines: list[int] = []
+        access_line = self.access_line
+        for line in collapsed.tolist():
+            hit, evicted = access_line(line, write)
+            if not hit:
+                miss_lines.append(line)
+            if evicted is not None:
+                evictions.append(evicted)
+        return StreamResult(self.misses - misses_before, evictions, miss_lines)
+
+    def access_runs(
+        self, lines: np.ndarray, writes: np.ndarray
+    ) -> "StreamResult":
+        """Like :meth:`access_stream` with a per-reference write flag.
+
+        Consecutive references to the same line are collapsed into one access
+        whose write flag is the OR of the run (a line written anywhere in the
+        run is dirty).
+        """
+        lines = np.asarray(lines).reshape(-1)
+        writes = np.asarray(writes, dtype=bool).reshape(-1)
+        if lines.size == 0:
+            return StreamResult(0, [], [])
+        boundaries = np.empty(lines.shape, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=boundaries[1:])
+        starts = np.nonzero(boundaries)[0]
+        run_writes = np.logical_or.reduceat(writes, starts)
+        collapsed = lines[starts]
+        self.hits += int(lines.size - collapsed.size)
+        misses_before = self.misses
+        evictions: list[int] = []
+        miss_lines: list[int] = []
+        access_line = self.access_line
+        for line, w in zip(collapsed.tolist(), run_writes.tolist()):
+            hit, evicted = access_line(line, w)
+            if not hit:
+                miss_lines.append(line)
+            if evicted is not None:
+                evictions.append(evicted)
+        return StreamResult(self.misses - misses_before, evictions, miss_lines)
+
+    def flush(self) -> list[int]:
+        """Evict everything; returns byte addresses of dirty lines."""
+        dirty_lines: list[int] = []
+        for cache_set in self._sets:
+            for line, dirty in cache_set.items():
+                if dirty:
+                    dirty_lines.append(line * self.config.line_bytes)
+            cache_set.clear()
+        return dirty_lines
+
+    def contains(self, addr: int) -> bool:
+        line = self.line_of(addr)
+        return line in self._sets[line % self.config.sets]
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

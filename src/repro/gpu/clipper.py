@@ -1,0 +1,227 @@
+"""Clipping and face culling.
+
+Implements the paper's "clipper stage": trivial rejection against the view
+frustum (the Table VII "% clipped"), front/back-face and zero-area culling
+("% culled"), and real polygon clipping against the near plane for the
+triangles that cross it (needed for correct rasterization; such triangles
+still count once as "traversed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ScreenTriangles:
+    """Screen-space triangles ready for rasterization.
+
+    ``xy``: (T, 3, 2) pixel coordinates; ``z``: (T, 3) depth in [0, 1];
+    ``inv_w``: (T, 3) for perspective-correct interpolation; per-vertex
+    attribute arrays; ``front``: per-triangle facing; ``parent``: index of
+    the assembled source triangle (near-clip can split one into two).
+    """
+
+    xy: np.ndarray
+    z: np.ndarray
+    inv_w: np.ndarray
+    uv: np.ndarray
+    color: np.ndarray
+    front: np.ndarray
+    parent: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.xy.shape[0]
+
+
+@dataclass
+class ClipCullResult:
+    triangles: ScreenTriangles
+    assembled: int = 0
+    clipped: int = 0
+    culled: int = 0
+    traversed: int = 0
+
+
+_NEAR_EPS = 1e-6
+
+
+def clip_and_cull(
+    clip_positions: np.ndarray,
+    triangles: np.ndarray,
+    uv: np.ndarray,
+    color: np.ndarray,
+    width: int,
+    height: int,
+    cull: str = "back",
+) -> ClipCullResult:
+    """Run assembled triangles through frustum rejection, near clip and cull.
+
+    ``clip_positions``: (V, 4) clip-space vertex positions; ``triangles``:
+    (T, 3) vertex indices; ``uv``/(V, 2) and ``color``/(V, 4) per-vertex
+    attributes carried to rasterization.
+    """
+    pos = np.asarray(clip_positions, dtype=np.float64)
+    tris = np.asarray(triangles, dtype=np.int64).reshape(-1, 3)
+    t_count = tris.shape[0]
+    if t_count == 0:
+        return ClipCullResult(_empty_screen_triangles(), 0, 0, 0, 0)
+
+    x, y, z, w = pos[:, 0], pos[:, 1], pos[:, 2], pos[:, 3]
+    outside = np.stack(
+        [x < -w, x > w, y < -w, y > w, z < -w, z > w], axis=1
+    )  # (V, 6)
+    tri_outside = outside[tris]  # (T, 3, 6)
+    rejected = tri_outside.all(axis=1).any(axis=1)
+    clipped_count = int(rejected.sum())
+    survivors = np.nonzero(~rejected)[0]
+
+    # Near-plane crossers need geometric clipping; everything else can be
+    # perspective-divided directly (the rasterizer clamps to the viewport,
+    # acting as an infinite guard band for the side planes).
+    near_out = (z + w < _NEAR_EPS)[tris[survivors]]
+    crosses_near = near_out.any(axis=1)
+    easy = survivors[~crosses_near]
+    hard = survivors[crosses_near]
+
+    out_xy: list[np.ndarray] = []
+    out_z: list[np.ndarray] = []
+    out_inv_w: list[np.ndarray] = []
+    out_uv: list[np.ndarray] = []
+    out_color: list[np.ndarray] = []
+    out_parent: list[np.ndarray] = []
+
+    if easy.size:
+        vids = tris[easy]  # (E, 3)
+        p = pos[vids]  # (E, 3, 4)
+        a_uv = uv[vids]
+        a_color = color[vids]
+        sx, sy, sz, inv_w = _viewport(p, width, height)
+        out_xy.append(np.stack([sx, sy], axis=-1))
+        out_z.append(sz)
+        out_inv_w.append(inv_w)
+        out_uv.append(a_uv)
+        out_color.append(a_color)
+        out_parent.append(easy)
+
+    for t in hard:
+        polys = _clip_near(pos[tris[t]], uv[tris[t]], color[tris[t]])
+        for p, a_uv, a_color in polys:
+            sx, sy, sz, inv_w = _viewport(p[None, :, :], width, height)
+            out_xy.append(np.stack([sx, sy], axis=-1))
+            out_z.append(sz)
+            out_inv_w.append(inv_w)
+            out_uv.append(a_uv[None, :, :])
+            out_color.append(a_color[None, :, :])
+            out_parent.append(np.array([t]))
+
+    if not out_xy:
+        return ClipCullResult(
+            _empty_screen_triangles(), t_count, clipped_count, t_count - clipped_count, 0
+        )
+
+    xy = np.concatenate(out_xy)
+    zs = np.concatenate(out_z)
+    inv_ws = np.concatenate(out_inv_w)
+    uvs = np.concatenate(out_uv)
+    colors = np.concatenate(out_color)
+    parents = np.concatenate(out_parent)
+
+    # Face culling on signed screen area.  Source meshes wind CCW in NDC
+    # for front faces; the viewport Y flip makes them clockwise on screen,
+    # i.e. negative signed area.
+    area2 = _signed_area2(xy)
+    front = area2 < 0.0
+    degenerate = area2 == 0.0
+    if cull == "back":
+        keep = front & ~degenerate
+    elif cull == "front":
+        keep = ~front & ~degenerate
+    elif cull == "none":
+        keep = ~degenerate
+    else:
+        raise ValueError(f"unknown cull mode {cull!r}")
+
+    surviving_parents = np.unique(parents[keep])
+    traversed = int(surviving_parents.size)
+    culled = t_count - clipped_count - traversed
+
+    result = ScreenTriangles(
+        xy=xy[keep],
+        z=zs[keep],
+        inv_w=inv_ws[keep],
+        uv=uvs[keep],
+        color=colors[keep],
+        front=front[keep],
+        parent=parents[keep],
+    )
+    return ClipCullResult(result, t_count, clipped_count, culled, traversed)
+
+
+def _signed_area2(xy: np.ndarray) -> np.ndarray:
+    """Twice the signed area of (T, 3, 2) screen triangles."""
+    e1 = xy[:, 1] - xy[:, 0]
+    e2 = xy[:, 2] - xy[:, 0]
+    return e1[:, 0] * e2[:, 1] - e1[:, 1] * e2[:, 0]
+
+
+def _viewport(p: np.ndarray, width: int, height: int):
+    """Perspective divide + viewport transform for (T, 3, 4) positions."""
+    w = p[..., 3]
+    safe_w = np.where(np.abs(w) < _NEAR_EPS, _NEAR_EPS, w)
+    inv_w = 1.0 / safe_w
+    ndc = p[..., :3] * inv_w[..., None]
+    sx = (ndc[..., 0] + 1.0) * 0.5 * width
+    sy = (1.0 - ndc[..., 1]) * 0.5 * height
+    sz = (ndc[..., 2] + 1.0) * 0.5
+    return sx, sy, np.clip(sz, 0.0, 1.0), inv_w
+
+
+def _clip_near(p: np.ndarray, uv: np.ndarray, color: np.ndarray):
+    """Sutherland-Hodgman clip of one triangle against z + w = 0.
+
+    Interpolation happens in clip space (linear there), then the resulting
+    polygon is fanned back into triangles.
+    """
+    inside = p[:, 2] + p[:, 3] >= _NEAR_EPS
+    if not inside.any():
+        return []
+    verts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for i in range(3):
+        j = (i + 1) % 3
+        pi, pj = p[i], p[j]
+        di = pi[2] + pi[3]
+        dj = pj[2] + pj[3]
+        if inside[i]:
+            verts.append((pi, uv[i], color[i]))
+        if inside[i] != inside[j]:
+            t = di / (di - dj)
+            verts.append(
+                (
+                    pi + t * (pj - pi),
+                    uv[i] + t * (uv[j] - uv[i]),
+                    color[i] + t * (color[j] - color[i]),
+                )
+            )
+    polys = []
+    for k in range(1, len(verts) - 1):
+        tri_p = np.stack([verts[0][0], verts[k][0], verts[k + 1][0]])
+        tri_uv = np.stack([verts[0][1], verts[k][1], verts[k + 1][1]])
+        tri_c = np.stack([verts[0][2], verts[k][2], verts[k + 1][2]])
+        polys.append((tri_p, tri_uv, tri_c))
+    return polys
+
+
+def _empty_screen_triangles() -> ScreenTriangles:
+    return ScreenTriangles(
+        xy=np.empty((0, 3, 2)),
+        z=np.empty((0, 3)),
+        inv_w=np.empty((0, 3)),
+        uv=np.empty((0, 3, 2)),
+        color=np.empty((0, 3, 4)),
+        front=np.empty(0, dtype=bool),
+        parent=np.empty(0, dtype=np.int64),
+    )

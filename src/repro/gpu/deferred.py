@@ -1,0 +1,156 @@
+"""Tile-based deferred rendering (TBDR) analysis.
+
+The paper closes its Hierarchical-Z discussion with: "further improvements
+could be achieved ... using deferred rendering techniques [19]" (PowerVR's
+tile-based deferred rendering).  A TBDR sorts fragments per tile before
+shading, so only the finally-visible fragment of each opaque pixel is ever
+shaded or textured.
+
+This module estimates that bound for a forward-rendering workload by a trace
+transformation: every frame's opaque draws are re-emitted as a depth-only
+prepass (building the final depth buffer, which is exactly the information a
+TBDR's per-tile sorting recovers) followed by the original draws with the
+depth test at EQUAL — so shading, texturing and color traffic happen only
+for visible fragments.  Comparing the transformed run against the immediate
+run quantifies the shading/texturing work deferred rendering removes.
+
+The idTech4 workloads are excluded by design: their z-prepass + EQUAL light
+passes already implement the same idea in software ("kind of a software
+based deferred rendering", Section III.D), which this analysis makes
+measurable for the forward engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.commands import BindProgram, Clear, Draw, SetState
+from repro.api.state import StateMachine
+from repro.api.trace import Frame, Trace
+from repro.gpu.stats import MemClient
+from repro.workloads.generator import GameWorkload
+
+
+@dataclass(frozen=True)
+class DeferredComparison:
+    """Immediate vs deferred costs for the same frames."""
+
+    frames: int
+    immediate_shaded: int
+    deferred_shaded: int
+    immediate_texture_bytes: int
+    deferred_texture_bytes: int
+    immediate_bilinears: int
+    deferred_bilinears: int
+
+    @property
+    def shading_saved(self) -> float:
+        """Fraction of shaded fragments a TBDR would not shade."""
+        if self.immediate_shaded == 0:
+            return 0.0
+        return 1.0 - self.deferred_shaded / self.immediate_shaded
+
+    @property
+    def texture_traffic_saved(self) -> float:
+        if self.immediate_texture_bytes == 0:
+            return 0.0
+        return 1.0 - self.deferred_texture_bytes / self.immediate_texture_bytes
+
+
+def defer_frame(frame: Frame) -> Frame:
+    """Rewrite one frame: opaque draws get a depth prepass + EQUAL shading.
+
+    Draws that are already depth-read-only (EQUAL / no depth write — extra
+    blend passes) and non-draw calls pass through unchanged; the prepass
+    covers exactly the draws that establish depth.
+    """
+    machine = StateMachine()
+    prepass: list = []
+    states_before_draws: list = []
+    opaque_draws: list[Draw] = []
+    for call in frame.calls:
+        machine.apply(call)
+        if isinstance(call, Draw):
+            state = machine.state
+            if state.depth_test and state.depth_write and state.depth_func in (
+                "less",
+                "lequal",
+            ):
+                opaque_draws.append((list(states_before_draws), call))
+        else:
+            states_before_draws.append(call)
+
+    if not opaque_draws:
+        return frame
+
+    new_calls: list = [Clear()]
+    # Depth-only prepass: replay the state stream so transforms are right,
+    # with color writes masked and no fragment program.
+    new_calls.append(SetState("color_mask", False))
+    new_calls.append(BindProgram("fragment", None))
+    seen = 0
+    for states, draw in opaque_draws:
+        for call in states[seen:]:
+            if isinstance(call, (Clear,)):
+                continue
+            if isinstance(call, BindProgram) and call.stage == "fragment":
+                continue
+            if isinstance(call, SetState) and call.name in (
+                "color_mask",
+                "depth_func",
+                "depth_write",
+                "blend",
+            ):
+                continue
+            new_calls.append(call)
+        seen = len(states)
+        new_calls.append(draw)
+
+    # Main pass: original stream with opaque depth tests forced to EQUAL.
+    new_calls.append(SetState("color_mask", True))
+    replay = StateMachine()
+    for call in frame.calls:
+        replay.apply(call)
+        if isinstance(call, Clear):
+            continue  # already cleared; a second clear would drop the prepass
+        if isinstance(call, Draw):
+            state = replay.state
+            if state.depth_test and state.depth_write and state.depth_func in (
+                "less",
+                "lequal",
+            ):
+                new_calls.append(SetState("depth_func", "equal"))
+                new_calls.append(SetState("depth_write", False))
+                new_calls.append(call)
+                new_calls.append(SetState("depth_func", state.depth_func))
+                new_calls.append(SetState("depth_write", True))
+                continue
+        new_calls.append(call)
+    return Frame(frame.number, new_calls)
+
+
+def defer_trace(trace: Trace) -> Trace:
+    """A trace whose every frame has been rewritten by :func:`defer_frame`."""
+    frames = [defer_frame(frame) for frame in trace.frames()]
+    return Trace(trace.meta, frames)
+
+
+def analyze(workload: GameWorkload, frames: int = 3) -> DeferredComparison:
+    """Run a workload immediate and deferred; return the cost comparison."""
+    if workload.spec.params.render_path == "stencil_shadow":
+        raise ValueError(
+            "stencil-shadow engines already render depth-first; the deferred "
+            "analysis targets forward engines"
+        )
+    immediate = workload.simulate(frames=frames)
+    sim = workload.simulator()
+    deferred = sim.run_trace(defer_trace(workload.trace(frames=frames)))
+    return DeferredComparison(
+        frames=frames,
+        immediate_shaded=immediate.stats.fragments_shaded,
+        deferred_shaded=deferred.stats.fragments_shaded,
+        immediate_texture_bytes=immediate.memory.client_bytes(MemClient.TEXTURE),
+        deferred_texture_bytes=deferred.memory.client_bytes(MemClient.TEXTURE),
+        immediate_bilinears=immediate.stats.bilinear_samples,
+        deferred_bilinears=deferred.stats.bilinear_samples,
+    )

@@ -1,0 +1,77 @@
+"""Coarse throughput model: cycles and frame-rate estimates.
+
+The reproduction is functional, but the Table II machine rates allow a
+bottleneck-style estimate: each stage needs ``events / rate`` cycles, the
+frame needs the maximum (stages overlap in a pipelined GPU), and memory adds
+its own bound.  Used by the examples; no paper table depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.memory import MemoryController
+from repro.gpu.stats import GpuStats
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Per-stage cycle requirements for a simulated run."""
+
+    vertex_cycles: float
+    setup_cycles: float
+    zstencil_cycles: float
+    shader_cycles: float
+    texture_cycles: float
+    color_cycles: float
+    memory_cycles: float
+    frames: int
+
+    @property
+    def cycles_per_frame(self) -> float:
+        bound = max(
+            self.vertex_cycles,
+            self.setup_cycles,
+            self.zstencil_cycles,
+            self.shader_cycles,
+            self.texture_cycles,
+            self.color_cycles,
+            self.memory_cycles,
+        )
+        return bound / max(self.frames, 1)
+
+    @property
+    def bottleneck(self) -> str:
+        stages = {
+            "vertex": self.vertex_cycles,
+            "setup": self.setup_cycles,
+            "zstencil": self.zstencil_cycles,
+            "shader": self.shader_cycles,
+            "texture": self.texture_cycles,
+            "color": self.color_cycles,
+            "memory": self.memory_cycles,
+        }
+        return max(stages, key=stages.get)
+
+    def fps_at_clock(self, clock_hz: float = 625e6) -> float:
+        """Frames/second at a given core clock (R520 shipped at 625 MHz)."""
+        cycles = self.cycles_per_frame
+        return clock_hz / cycles if cycles else float("inf")
+
+
+def estimate(
+    stats: GpuStats, memory: MemoryController, config: GpuConfig
+) -> PerfEstimate:
+    """Build a :class:`PerfEstimate` from simulation statistics."""
+    shader_ops = stats.vertex_instructions + stats.fragment_instructions
+    return PerfEstimate(
+        vertex_cycles=stats.vertices_shaded / max(config.shader_units, 1),
+        setup_cycles=stats.triangles_assembled / config.triangles_per_cycle,
+        zstencil_cycles=stats.fragments_zstencil / config.zstencil_rate,
+        shader_cycles=shader_ops / (config.shader_units * 4),  # 4-wide ALUs
+        texture_cycles=stats.bilinear_samples / config.bilinears_per_cycle,
+        color_cycles=stats.fragments_blended / config.color_rate,
+        memory_cycles=memory.total_bytes / config.memory_bytes_per_cycle,
+        frames=stats.frames,
+    )

@@ -1,0 +1,382 @@
+"""Top-level GPU simulator: replays API traces through the full pipeline.
+
+Per draw call: vertex fetch + post-transform cache + vertex shading →
+primitive assembly → clip/cull → per-triangle rasterization into quads →
+Hierarchical Z → (early or late) Z/stencil → fragment shading with textures
+and KIL → color mask / blend.  Early Z runs before shading unless the
+fragment program can kill fragments (the paper's alpha-test rule); the
+stencil-shadow passes run with HZ disabled and color writes masked, exactly
+the flow that produces the paper's Doom3/Quake4 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.commands import (
+    BindTexture,
+    Clear,
+    Draw,
+    SetUniform,
+    UploadResource,
+)
+from repro.api.state import StateMachine
+from repro.api.trace import Frame, Trace
+from repro.geometry.mesh import Mesh
+from repro.geometry.primitives import assemble_triangles
+from repro.gpu.caches import Cache
+from repro.gpu.clipper import clip_and_cull
+from repro.gpu.color import ColorStage
+from repro.gpu.config import GpuConfig
+from repro.gpu.framebuffer import Framebuffer
+from repro.gpu.memory import MemoryController
+from repro.gpu.rasterizer import QuadBatch, rasterize_triangle
+from repro.gpu.stats import FrameGpuStats, GpuStats, MemClient, QuadFate
+from repro.gpu.texture import TextureFilter, TextureResource, TextureUnit
+from repro.gpu.vertex import VertexStage
+from repro.gpu.zstencil import ZStencilStage
+from repro.shader.interpreter import ShaderInterpreter
+from repro.shader.program import ShaderProgram
+
+#: Estimated command-buffer bytes fetched by the Command Processor per call.
+_CP_CALL_BYTES = 16
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiment harness needs from one simulated run."""
+
+    stats: GpuStats
+    frame_stats: list[FrameGpuStats]
+    memory: MemoryController
+    caches: dict[str, Cache]
+    config: GpuConfig
+    images: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def pixels(self) -> int:
+        return self.config.pixels
+
+    def overdraw(self, stage: str) -> float:
+        return self.stats.overdraw(stage, self.pixels)
+
+
+class GpuSimulator:
+    """Replays traces; owns all pipeline state (framebuffer, caches, …)."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        meshes: dict[str, Mesh],
+        programs: dict[str, ShaderProgram],
+        textures: list[TextureResource] | None = None,
+        texture_filter: TextureFilter = TextureFilter.ANISOTROPIC,
+        max_aniso: int = 16,
+    ):
+        self.config = config
+        self.meshes = meshes
+        self.programs = programs
+        self.memory = MemoryController()
+        self.fb = Framebuffer(config.width, config.height, config.hz_block)
+        self.vertex_stage = VertexStage(config, self.memory)
+        self.zstencil = ZStencilStage(config, self.fb, self.memory)
+        self.color_stage = ColorStage(config, self.fb, self.memory)
+        self.texture_unit = TextureUnit(config, self.memory)
+        for tex in textures or []:
+            self.texture_unit.register(tex)
+        self.texture_unit.set_filter(texture_filter, max_aniso)
+        self.fragment_interp = ShaderInterpreter(sampler=self.texture_unit)
+        self.machine = StateMachine()
+        self.stats = GpuStats()
+        self.frame_stats: list[FrameGpuStats] = []
+
+    # -- public API -----------------------------------------------------
+    def run_trace(
+        self,
+        trace: Trace,
+        max_frames: int | None = None,
+        fragment_stages: bool = True,
+        keep_images: int = 0,
+    ) -> SimulationResult:
+        """Simulate ``trace`` (optionally truncated) and return the results.
+
+        ``fragment_stages=False`` runs the geometry pipeline only — cheap
+        mode for the per-frame vertex-cache and clip/cull statistics (Figs. 5
+        and 6) over long timedemos.  ``keep_images`` retains the color buffer
+        of the first N frames.
+        """
+        images: list[np.ndarray] = []
+        for frame in trace.frames():
+            if max_frames is not None and len(self.frame_stats) >= max_frames:
+                break
+            self.run_frame(frame, fragment_stages=fragment_stages)
+            if len(images) < keep_images:
+                images.append(self.fb.color_image())
+        return SimulationResult(
+            stats=self.stats,
+            frame_stats=self.frame_stats,
+            memory=self.memory,
+            caches={
+                "zstencil": self.zstencil.cache,
+                "color": self.color_stage.cache,
+                "texture_l0": self.texture_unit.l0,
+                "texture_l1": self.texture_unit.l1,
+            },
+            config=self.config,
+            images=images,
+        )
+
+    def run_frame(self, frame: Frame, fragment_stages: bool = True) -> FrameGpuStats:
+        fstats = FrameGpuStats(frame=frame.number)
+        for call in frame.calls:
+            self.memory.read(MemClient.CP, self._command_bytes(call))
+            if isinstance(call, Draw):
+                self._process_draw(call, fstats, fragment_stages)
+                continue
+            if isinstance(call, UploadResource):
+                self.memory.write(MemClient.CP, call.byte_size)
+            elif isinstance(call, Clear):
+                self._apply_clear(call)
+            elif isinstance(call, BindTexture):
+                pass  # applied through the state machine below
+            self.machine.apply(call)
+        if fragment_stages:
+            self.color_stage.flush()
+            self.memory.read(
+                MemClient.DAC,
+                self.config.pixels * self.config.framebuffer_bytes_per_pixel,
+            )
+        fstats.merge_into(self.stats)
+        self.frame_stats.append(fstats)
+        return fstats
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _command_bytes(call) -> int:
+        if isinstance(call, SetUniform):
+            return _CP_CALL_BYTES + 4 * len(call.value)
+        return _CP_CALL_BYTES
+
+    def _apply_clear(self, call: Clear) -> None:
+        if call.depth and call.stencil:
+            self.fb.clear_depth_stencil(call.depth_value, call.stencil_value)
+            self.zstencil.invalidate_cache()
+        elif call.stencil:
+            self.fb.clear_stencil_only(call.stencil_value)
+        elif call.depth:
+            self.fb.clear_depth_stencil(call.depth_value, self.fb.stencil_clear_value)
+            self.zstencil.invalidate_cache()
+        if call.color:
+            self.fb.clear_color(call.color_value)
+            self.color_stage.invalidate_cache()
+
+    def _gather_constants(self) -> dict[int, tuple]:
+        uniforms = self.machine.uniforms
+        constants: dict[int, tuple] = {}
+        mvp = uniforms.get("mvp")
+        if mvp is not None:
+            rows = np.asarray(mvp, dtype=np.float64).reshape(4, 4)
+            for i in range(4):
+                constants[i] = tuple(rows[i])
+        model = uniforms.get("model")
+        if model is not None:
+            rows = np.asarray(model, dtype=np.float64).reshape(4, 4)
+            for i in range(3):
+                constants[8 + i] = tuple(rows[i])
+        for name, slot in (("light_dir", 4), ("light_color", 5), ("ambient", 6)):
+            value = uniforms.get(name)
+            if value is not None:
+                constants[slot] = tuple(value)[:4]
+        return constants
+
+    def _process_draw(
+        self, draw: Draw, fstats: FrameGpuStats, fragment_stages: bool
+    ) -> None:
+        state = self.machine.state
+        mesh = self.meshes[draw.mesh]
+        vp = self.programs.get(state.vertex_program or "")
+        constants = self._gather_constants()
+        vres = self.vertex_stage.process(mesh, draw, vp, constants)
+
+        fstats.indices += int(vres.indices.size)
+        fstats.vertex_cache_references += vres.cache_references
+        fstats.vertex_cache_hits += vres.cache_hits
+        fstats.vertices_shaded += vres.vertices_shaded
+        fstats.vertex_instructions += vres.instructions
+
+        triangles = assemble_triangles(vres.remap, draw.primitive)
+        ccr = clip_and_cull(
+            vres.clip_positions,
+            triangles,
+            vres.uv,
+            vres.color,
+            self.config.width,
+            self.config.height,
+            cull=state.cull,
+        )
+        fstats.triangles_assembled += ccr.assembled
+        fstats.triangles_clipped += ccr.clipped
+        fstats.triangles_culled += ccr.culled
+        fstats.triangles_traversed += ccr.traversed
+        if not fragment_stages or ccr.triangles.count == 0:
+            return
+
+        fp = self.programs.get(state.fragment_program or "")
+        if state.fragment_program and fp is None:
+            raise KeyError(f"fragment program {state.fragment_program!r} unknown")
+        early_z = fp is None or not fp.uses_kill
+        for unit, name in state.textures:
+            self.texture_unit.bind(unit, name)
+
+        hz_on = (
+            self.config.hierarchical_z
+            and state.hierarchical_z
+            and state.depth_test
+            and state.depth_func in ("less", "lequal", "equal")
+        )
+
+        pending: list[tuple[QuadBatch, np.ndarray]] = []
+        tris = ccr.triangles
+        for t in range(tris.count):
+            qb = rasterize_triangle(
+                tris.xy[t],
+                tris.z[t],
+                tris.inv_w[t],
+                tris.uv[t],
+                tris.color[t],
+                self.config.width,
+                self.config.height,
+                front=bool(tris.front[t]),
+            )
+            if qb is None:
+                continue
+            fstats.fragments_rasterized += qb.fragment_count
+            fstats.quads_rasterized += qb.quad_count
+            fstats.complete_quads_rasterized += qb.complete_quads
+
+            alive = qb.cover
+            if hz_on:
+                z_for_min = np.where(alive, qb.z, np.inf)
+                z_min = z_for_min.min(axis=1)
+                if self.config.hz_min_max and state.depth_func == "equal":
+                    z_for_max = np.where(alive, qb.z, -np.inf)
+                    culled = self.fb.hz_minmax_equal_cull_mask(
+                        qb.qx, qb.qy, z_min, z_for_max.max(axis=1)
+                    )
+                else:
+                    culled = self.fb.hz_cull_mask(qb.qx, qb.qy, z_min)
+                if self.config.hz_stencil and state.stencil_test:
+                    culled = culled | self.fb.hz_stencil_cull_mask(
+                        qb.qx, qb.qy, state.stencil_ref, state.stencil_func
+                    )
+                fstats.count_quad_fates(QuadFate.HZ, int(culled.sum()))
+                if culled.all():
+                    continue
+                qb = qb.select(~culled)
+                alive = qb.cover
+
+            if early_z:
+                fstats.fragments_zstencil += int(alive.sum())
+                fstats.quads_zstencil += qb.quad_count
+                fstats.complete_quads_zstencil += int(alive.all(axis=1).sum())
+                zres = self.zstencil.process(qb, state, alive)
+                if state.depth_write:
+                    self.zstencil.update_hz(qb, zres.wrote)
+                surviving = zres.pass_mask.any(axis=1)
+                fstats.count_quad_fates(
+                    QuadFate.ZSTENCIL, int((~surviving).sum())
+                )
+                if surviving.any():
+                    pending.append((qb.select(surviving), zres.pass_mask[surviving]))
+            else:
+                pending.append((qb, alive))
+
+        if not pending:
+            return
+        self._shade_and_write(pending, fp, state, fstats, early_z)
+
+    def _shade_and_write(
+        self,
+        pending: list[tuple[QuadBatch, np.ndarray]],
+        fp: ShaderProgram | None,
+        state,
+        fstats: FrameGpuStats,
+        early_z: bool,
+    ) -> None:
+        """Batched fragment shading, then (for late Z) tests, then color."""
+        lanes_alive = [alive for _, alive in pending]
+        all_alive = np.concatenate([a.reshape(-1) for a in lanes_alive])
+
+        if fp is not None:
+            uv = np.concatenate([qb.uv.reshape(-1, 2) for qb, _ in pending])
+            colors_in = np.concatenate([qb.color.reshape(-1, 4) for qb, _ in pending])
+            n = uv.shape[0]
+            v1 = np.zeros((n, 4))
+            v1[:, :2] = uv
+            v1[:, 3] = 1.0
+            self.texture_unit.set_coverage(all_alive)
+            tex_before = self.texture_unit.stats.reset()
+            del tex_before
+            result = self.fragment_interp.run(
+                fp, inputs={1: v1, 2: colors_in}, count=n
+            )
+            self.texture_unit.set_coverage(None)
+            tex_stats = self.texture_unit.stats.reset()
+            shaded = int(all_alive.sum())
+            fstats.fragments_shaded += shaded
+            fstats.quads_shaded += sum(qb.quad_count for qb, _ in pending)
+            fstats.fragment_instructions += fp.instruction_count * shaded
+            fstats.fragment_alu_instructions += fp.alu_instruction_count * shaded
+            fstats.texture_requests += tex_stats.requests
+            fstats.bilinear_samples += tex_stats.bilinear_samples
+            out_color = result.output(0)
+            kill = result.kill_mask
+        else:
+            out_color = np.concatenate([qb.color.reshape(-1, 4) for qb, _ in pending])
+            kill = np.zeros(all_alive.shape[0], dtype=bool)
+
+        offset = 0
+        for qb, alive in pending:
+            count = qb.quad_count * 4
+            q_color = out_color[offset : offset + count].reshape(-1, 4, 4)
+            q_kill = kill[offset : offset + count].reshape(-1, 4)
+            offset += count
+
+            live = alive & ~q_kill
+            if fp is not None and fp.uses_kill:
+                dead = ~live.any(axis=1)
+                fstats.count_quad_fates(QuadFate.ALPHA, int(dead.sum()))
+                if dead.all():
+                    continue
+                keep = ~dead
+                qb = qb.select(keep)
+                live = live[keep]
+                q_color = q_color[keep]
+
+            if not early_z:
+                fstats.fragments_zstencil += int(live.sum())
+                fstats.quads_zstencil += qb.quad_count
+                fstats.complete_quads_zstencil += int(live.all(axis=1).sum())
+                zres = self.zstencil.process(qb, state, live)
+                if state.depth_write:
+                    self.zstencil.update_hz(qb, zres.wrote)
+                surviving = zres.pass_mask.any(axis=1)
+                fstats.count_quad_fates(QuadFate.ZSTENCIL, int((~surviving).sum()))
+                if not surviving.any():
+                    continue
+                qb = qb.select(surviving)
+                live = zres.pass_mask[surviving]
+                q_color = q_color[surviving]
+
+            if not state.color_mask:
+                fstats.count_quad_fates(QuadFate.COLOR_MASK, qb.quad_count)
+                continue
+            xs, ys = qb.pixel_coords()
+            self.color_stage.process(
+                xs, ys, qb.qx, qb.qy, q_color, live, state.blend
+            )
+            fstats.fragments_blended += int(live.sum())
+            fstats.quads_blended += qb.quad_count
+            fstats.count_quad_fates(QuadFate.BLENDED, qb.quad_count)

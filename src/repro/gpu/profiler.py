@@ -1,0 +1,129 @@
+"""Per-draw profiler: NVPerfHUD-style bottleneck inspection.
+
+The paper's related work surveys per-draw profiling tools (NVPerfHUD,
+NVPerfKit, ATI's PIX plugins).  This module provides the equivalent for the
+simulator: attach a :class:`DrawProfiler` to a :class:`GpuSimulator` and it
+records one row per draw call — triangles, fragments per stage, shader
+instructions, texture probes, and the memory bytes the draw moved — so the
+heaviest batches of a frame can be ranked and attributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.pipeline import GpuSimulator
+from repro.gpu.stats import FrameGpuStats, MemClient
+
+
+@dataclass
+class DrawRecord:
+    """One draw call's costs."""
+
+    frame: int
+    index: int  # draw order within the frame
+    mesh: str
+    vertex_program: str | None
+    fragment_program: str | None
+    indices: int = 0
+    triangles_traversed: int = 0
+    fragments_rasterized: int = 0
+    fragments_shaded: int = 0
+    fragments_blended: int = 0
+    fragment_instructions: int = 0
+    bilinear_samples: int = 0
+    memory_bytes: int = 0
+
+    @property
+    def pass_kind(self) -> str:
+        """Heuristic pass classification for stencil-shadow engines."""
+        if ".vol." in self.mesh:
+            return "shadow volume"
+        if self.fragment_program is None:
+            return "depth prepass"
+        return "shading"
+
+
+@dataclass
+class FrameProfile:
+    """All draw records of one frame plus ranking helpers."""
+
+    frame: int
+    draws: list[DrawRecord] = field(default_factory=list)
+
+    def heaviest(self, n: int = 10, by: str = "memory_bytes") -> list[DrawRecord]:
+        return sorted(self.draws, key=lambda d: getattr(d, by), reverse=True)[:n]
+
+    def totals(self, attribute: str) -> int:
+        return sum(getattr(d, attribute) for d in self.draws)
+
+    def by_pass_kind(self) -> dict[str, int]:
+        """Memory bytes attributed to each pass kind."""
+        out: dict[str, int] = {}
+        for d in self.draws:
+            out[d.pass_kind] = out.get(d.pass_kind, 0) + d.memory_bytes
+        return out
+
+
+class DrawProfiler:
+    """Wraps a simulator's draw processing to collect per-draw records."""
+
+    def __init__(self, simulator: GpuSimulator):
+        self.simulator = simulator
+        self.frames: list[FrameProfile] = []
+        self._original = simulator._process_draw
+        simulator._process_draw = self._wrapped  # type: ignore[assignment]
+
+    def detach(self) -> None:
+        self.simulator._process_draw = self._original  # type: ignore[assignment]
+
+    def __enter__(self) -> "DrawProfiler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _current_profile(self, frame_number: int) -> FrameProfile:
+        if not self.frames or self.frames[-1].frame != frame_number:
+            self.frames.append(FrameProfile(frame_number))
+        return self.frames[-1]
+
+    def _wrapped(self, draw, fstats: FrameGpuStats, fragment_stages: bool):
+        sim = self.simulator
+        state = sim.machine.state
+        memory_before = sim.memory.total_bytes
+        before = (
+            fstats.indices,
+            fstats.triangles_traversed,
+            fstats.fragments_rasterized,
+            fstats.fragments_shaded,
+            fstats.fragments_blended,
+            fstats.fragment_instructions,
+            fstats.bilinear_samples,
+        )
+        self._original(draw, fstats, fragment_stages)
+        profile = self._current_profile(fstats.frame)
+        record = DrawRecord(
+            frame=fstats.frame,
+            index=len(profile.draws),
+            mesh=draw.mesh,
+            vertex_program=state.vertex_program,
+            fragment_program=state.fragment_program,
+            indices=fstats.indices - before[0],
+            triangles_traversed=fstats.triangles_traversed - before[1],
+            fragments_rasterized=fstats.fragments_rasterized - before[2],
+            fragments_shaded=fstats.fragments_shaded - before[3],
+            fragments_blended=fstats.fragments_blended - before[4],
+            fragment_instructions=fstats.fragment_instructions - before[5],
+            bilinear_samples=fstats.bilinear_samples - before[6],
+            memory_bytes=sim.memory.total_bytes - memory_before,
+        )
+        profile.draws.append(record)
+
+
+def profile_workload(workload, frames: int = 1) -> list[FrameProfile]:
+    """Convenience: simulate ``frames`` of a workload with profiling on."""
+    sim = workload.simulator()
+    with DrawProfiler(sim) as profiler:
+        sim.run_trace(workload.trace(frames=frames))
+        return profiler.frames

@@ -1,0 +1,186 @@
+"""Edge-function rasterizer producing 2x2 quads.
+
+Modern GPUs (and ATTILA) rasterize with linear edge functions over tiles
+(16x16 then 8x8 in ATTILA) and hand 2x2 fragment quads to the rest of the
+pipeline; quads are what makes texture LOD derivatives computable and what
+the paper's Tables IX/X count.  We evaluate the edge functions over the
+triangle's bounding box with numpy — this produces the identical fragment
+and quad sets as the hierarchical traversal, since tile pruning only skips
+work that produces no coverage.
+
+Fill convention: pixel centers at (x+0.5, y+0.5), top-left rule, so shared
+edges are rasterized exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+@dataclass
+class QuadBatch:
+    """Rasterizer output for one triangle: quad-aligned fragments.
+
+    Lane order within a quad is (dy*2 + dx): (0,0), (1,0), (0,1), (1,1).
+    ``cover`` marks real fragments; uncovered lanes carry extrapolated
+    attributes (helper pixels, used only for derivatives).
+    """
+
+    qx: np.ndarray  # (Q,) quad x = pixel_x // 2
+    qy: np.ndarray  # (Q,)
+    cover: np.ndarray  # (Q, 4) bool
+    z: np.ndarray  # (Q, 4) float depth
+    uv: np.ndarray  # (Q, 4, 2)
+    color: np.ndarray  # (Q, 4, 4)
+    front: bool
+
+    @property
+    def quad_count(self) -> int:
+        return int(self.qx.shape[0])
+
+    @property
+    def fragment_count(self) -> int:
+        return int(self.cover.sum())
+
+    @property
+    def complete_quads(self) -> int:
+        return int(self.cover.all(axis=1).sum())
+
+    def pixel_coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-lane pixel coordinates, shape (Q, 4) each (x, y)."""
+        dx = np.array([0, 1, 0, 1])
+        dy = np.array([0, 0, 1, 1])
+        xs = self.qx[:, None] * 2 + dx[None, :]
+        ys = self.qy[:, None] * 2 + dy[None, :]
+        return xs, ys
+
+    def select(self, mask: np.ndarray) -> "QuadBatch":
+        """Subset of quads where ``mask`` is True."""
+        return QuadBatch(
+            qx=self.qx[mask],
+            qy=self.qy[mask],
+            cover=self.cover[mask],
+            z=self.z[mask],
+            uv=self.uv[mask],
+            color=self.color[mask],
+            front=self.front,
+        )
+
+
+def rasterize_triangle(
+    xy: np.ndarray,
+    z: np.ndarray,
+    inv_w: np.ndarray,
+    uv: np.ndarray,
+    color: np.ndarray,
+    width: int,
+    height: int,
+    front: bool = True,
+) -> QuadBatch | None:
+    """Rasterize one screen-space triangle into a :class:`QuadBatch`.
+
+    ``xy``: (3, 2) screen positions, ``z``: (3,) depths, ``inv_w``: (3,)
+    reciprocal clip W for perspective-correct ``uv``/(3, 2) and
+    ``color``/(3, 4) interpolation.  Returns ``None`` when no quad is
+    covered.
+    """
+    # Snap to 1/256 sub-pixel fixed point like real rasterizers; shared
+    # edges between triangles become bit-identical, so the top-left rule
+    # partitions them exactly.
+    v = np.round(np.asarray(xy, dtype=np.float64) * 256.0) / 256.0
+    area2 = (v[1, 0] - v[0, 0]) * (v[2, 1] - v[0, 1]) - (v[2, 0] - v[0, 0]) * (
+        v[1, 1] - v[0, 1]
+    )
+    if area2 == 0.0:
+        return None
+    order = (0, 1, 2)
+    if area2 < 0.0:
+        order = (0, 2, 1)
+        area2 = -area2
+    p0, p1, p2 = v[order[0]], v[order[1]], v[order[2]]
+    zs = np.asarray(z, dtype=np.float64)[list(order)]
+    ws = np.asarray(inv_w, dtype=np.float64)[list(order)]
+    uvs = np.asarray(uv, dtype=np.float64)[list(order)]
+    colors = np.asarray(color, dtype=np.float64)[list(order)]
+
+    min_x = max(int(np.floor(v[:, 0].min())), 0)
+    max_x = min(int(np.ceil(v[:, 0].max())), width - 1)
+    min_y = max(int(np.floor(v[:, 1].min())), 0)
+    max_y = min(int(np.ceil(v[:, 1].max())), height - 1)
+    if min_x > max_x or min_y > max_y:
+        return None
+    qx0, qx1 = min_x // 2, max_x // 2
+    qy0, qy1 = min_y // 2, max_y // 2
+
+    xs = np.arange(qx0 * 2, qx1 * 2 + 2, dtype=np.float64) + 0.5
+    ys = np.arange(qy0 * 2, qy1 * 2 + 2, dtype=np.float64) + 0.5
+
+    # Edge i is opposite vertex i; E_i >= 0 inside for positive-area order.
+    edges = ((p1, p2), (p2, p0), (p0, p1))
+    e_vals = []
+    covered = None
+    for a, b in edges:
+        # E(p) = cross(b - a, p - a); positive inside for the positive-area
+        # vertex order established above.
+        dx = b[0] - a[0]
+        dy = b[1] - a[1]
+        a_coef = -dy
+        b_coef = dx
+        c_coef = -(a_coef * a[0] + b_coef * a[1])
+        e = a_coef * xs[None, :] + b_coef * ys[:, None] + c_coef
+        # Top-left rule (y-down screen coords): top edges run left-to-right
+        # (dy == 0, dx > 0), left edges run upward (dy < 0); those include
+        # their boundary, the others exclude it.
+        top_left = (dy == 0.0 and dx > 0.0) or (dy < 0.0)
+        inside = e >= 0.0 if top_left else e > 0.0
+        covered = inside if covered is None else (covered & inside)
+        e_vals.append(e)
+    if not covered.any():
+        return None
+
+    inv_area = 1.0 / area2
+    l0 = e_vals[0] * inv_area
+    l1 = e_vals[1] * inv_area
+    l2 = e_vals[2] * inv_area
+
+    depth = l0 * zs[0] + l1 * zs[1] + l2 * zs[2]
+    one_w = l0 * ws[0] + l1 * ws[1] + l2 * ws[2]
+    one_w = np.where(one_w == 0.0, 1e-12, one_w)
+    uv_num_u = l0 * uvs[0, 0] * ws[0] + l1 * uvs[1, 0] * ws[1] + l2 * uvs[2, 0] * ws[2]
+    uv_num_v = l0 * uvs[0, 1] * ws[0] + l1 * uvs[1, 1] * ws[1] + l2 * uvs[2, 1] * ws[2]
+    u = uv_num_u / one_w
+    vv = uv_num_v / one_w
+    col = np.empty(depth.shape + (4,), dtype=np.float64)
+    for c in range(4):
+        num = (
+            l0 * colors[0, c] * ws[0]
+            + l1 * colors[1, c] * ws[1]
+            + l2 * colors[2, c] * ws[2]
+        )
+        col[..., c] = num / one_w
+
+    gh, gw = covered.shape  # multiples of 2 by construction
+    qh, qw = gh // 2, gw // 2
+
+    def to_quads(arr: np.ndarray) -> np.ndarray:
+        """(gh, gw, ...) -> (Q, 4, ...) in lane order dy*2+dx."""
+        extra = arr.shape[2:]
+        quads = arr.reshape(qh, 2, qw, 2, *extra)
+        quads = np.moveaxis(quads, 2, 1)  # (qh, qw, 2(dy), 2(dx), ...)
+        return quads.reshape(qh * qw, 4, *extra)
+
+    q_cover = to_quads(covered)
+    keep = q_cover.any(axis=1)
+    if not keep.any():
+        return None
+    grid_qy, grid_qx = np.divmod(np.nonzero(keep)[0], qw)
+    return QuadBatch(
+        qx=(grid_qx + qx0).astype(np.int64),
+        qy=(grid_qy + qy0).astype(np.int64),
+        cover=q_cover[keep],
+        z=np.clip(to_quads(depth)[keep], 0.0, 1.0),
+        uv=np.stack([to_quads(u)[keep], to_quads(vv)[keep]], axis=-1),
+        color=to_quads(col)[keep],
+        front=front,
+    )

@@ -1,0 +1,234 @@
+"""Simulator statistics: the event and byte counters behind Tables VII-XVII."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MemClient(Enum):
+    """GPU memory clients, matching the paper's Table XVI columns."""
+
+    VERTEX = "Vertex"
+    ZSTENCIL = "Z&Stencil"
+    TEXTURE = "Texture"
+    COLOR = "Color"
+    DAC = "DAC"
+    CP = "CP"
+
+
+class QuadFate(Enum):
+    """Terminal bucket of every rasterized quad (Table IX columns)."""
+
+    HZ = "HZ"
+    ZSTENCIL = "Z&Stencil"
+    ALPHA = "Alpha"
+    COLOR_MASK = "Color Mask"
+    BLENDED = "Blending"
+
+
+@dataclass
+class FrameGpuStats:
+    """Counters for one simulated frame (the per-frame series of the figures)."""
+
+    frame: int = 0
+    # Geometry funnel (Fig. 6 / Table VII).
+    indices: int = 0
+    triangles_assembled: int = 0
+    triangles_clipped: int = 0
+    triangles_culled: int = 0
+    triangles_traversed: int = 0
+    # Vertex shading / cache (Fig. 5, Table IV).
+    vertex_cache_references: int = 0
+    vertex_cache_hits: int = 0
+    vertices_shaded: int = 0
+    vertex_instructions: int = 0
+    # Fragment funnel (Tables VIII-XI).
+    fragments_rasterized: int = 0
+    quads_rasterized: int = 0
+    complete_quads_rasterized: int = 0
+    fragments_zstencil: int = 0
+    quads_zstencil: int = 0
+    complete_quads_zstencil: int = 0
+    fragments_shaded: int = 0
+    quads_shaded: int = 0
+    fragments_blended: int = 0
+    quads_blended: int = 0
+    quad_fates: dict[QuadFate, int] = field(default_factory=dict)
+    # Shading / texturing (Tables XII-XIII).
+    fragment_instructions: int = 0
+    texture_requests: int = 0
+    bilinear_samples: int = 0
+    fragment_alu_instructions: int = 0
+
+    def count_quad_fates(self, fate: QuadFate, count: int) -> None:
+        if count:
+            self.quad_fates[fate] = self.quad_fates.get(fate, 0) + count
+
+    @property
+    def vertex_cache_hit_rate(self) -> float:
+        refs = self.vertex_cache_references
+        return self.vertex_cache_hits / refs if refs else 0.0
+
+    def avg_triangle_size(self, stage: str) -> float:
+        """Average triangle size in fragments at a pipeline stage (Fig. 7)."""
+        tris = self.triangles_traversed
+        if tris == 0:
+            return 0.0
+        counts = {
+            "raster": self.fragments_rasterized,
+            "zstencil": self.fragments_zstencil,
+            "shaded": self.fragments_shaded,
+            "blended": self.fragments_blended,
+        }
+        if stage not in counts:
+            raise KeyError(f"unknown stage {stage!r}")
+        return counts[stage] / tris
+
+    def merge_into(self, total: "GpuStats") -> None:
+        for name in (
+            "indices",
+            "triangles_assembled",
+            "triangles_clipped",
+            "triangles_culled",
+            "triangles_traversed",
+            "vertex_cache_references",
+            "vertex_cache_hits",
+            "vertices_shaded",
+            "vertex_instructions",
+            "fragments_rasterized",
+            "quads_rasterized",
+            "complete_quads_rasterized",
+            "fragments_zstencil",
+            "quads_zstencil",
+            "complete_quads_zstencil",
+            "fragments_shaded",
+            "quads_shaded",
+            "fragments_blended",
+            "quads_blended",
+            "fragment_instructions",
+            "texture_requests",
+            "bilinear_samples",
+            "fragment_alu_instructions",
+        ):
+            setattr(total, name, getattr(total, name) + getattr(self, name))
+        for fate, count in self.quad_fates.items():
+            total.quad_fates[fate] = total.quad_fates.get(fate, 0) + count
+        total.frames += 1
+
+
+@dataclass
+class GpuStats:
+    """Whole-run aggregation plus derived Table VII-XIII metrics."""
+
+    frames: int = 0
+    indices: int = 0
+    triangles_assembled: int = 0
+    triangles_clipped: int = 0
+    triangles_culled: int = 0
+    triangles_traversed: int = 0
+    vertex_cache_references: int = 0
+    vertex_cache_hits: int = 0
+    vertices_shaded: int = 0
+    vertex_instructions: int = 0
+    fragments_rasterized: int = 0
+    quads_rasterized: int = 0
+    complete_quads_rasterized: int = 0
+    fragments_zstencil: int = 0
+    quads_zstencil: int = 0
+    complete_quads_zstencil: int = 0
+    fragments_shaded: int = 0
+    quads_shaded: int = 0
+    fragments_blended: int = 0
+    quads_blended: int = 0
+    quad_fates: dict[QuadFate, int] = field(default_factory=dict)
+    fragment_instructions: int = 0
+    texture_requests: int = 0
+    bilinear_samples: int = 0
+    fragment_alu_instructions: int = 0
+
+    # -- Table VII ------------------------------------------------------
+    @property
+    def clip_cull_traverse_percent(self) -> tuple[float, float, float]:
+        total = self.triangles_assembled
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            100.0 * self.triangles_clipped / total,
+            100.0 * self.triangles_culled / total,
+            100.0 * self.triangles_traversed / total,
+        )
+
+    # -- Fig. 5 ---------------------------------------------------------
+    @property
+    def vertex_cache_hit_rate(self) -> float:
+        refs = self.vertex_cache_references
+        return self.vertex_cache_hits / refs if refs else 0.0
+
+    # -- Table VIII -----------------------------------------------------
+    def avg_triangle_size(self, stage: str) -> float:
+        tris = self.triangles_traversed
+        if tris == 0:
+            return 0.0
+        counts = {
+            "raster": self.fragments_rasterized,
+            "zstencil": self.fragments_zstencil,
+            "shaded": self.fragments_shaded,
+            "blended": self.fragments_blended,
+        }
+        return counts[stage] / tris
+
+    # -- Table IX -------------------------------------------------------
+    @property
+    def quad_fate_percent(self) -> dict[QuadFate, float]:
+        total = sum(self.quad_fates.values())
+        if total == 0:
+            return {fate: 0.0 for fate in QuadFate}
+        return {
+            fate: 100.0 * self.quad_fates.get(fate, 0) / total for fate in QuadFate
+        }
+
+    # -- Table X --------------------------------------------------------
+    @property
+    def quad_efficiency_raster(self) -> float:
+        q = self.quads_rasterized
+        return self.complete_quads_rasterized / q if q else 0.0
+
+    @property
+    def quad_efficiency_zstencil(self) -> float:
+        q = self.quads_zstencil
+        return self.complete_quads_zstencil / q if q else 0.0
+
+    # -- Table XI -------------------------------------------------------
+    def overdraw(self, stage: str, pixels: int) -> float:
+        if pixels == 0:
+            return 0.0
+        counts = {
+            "raster": self.fragments_rasterized,
+            "zstencil": self.fragments_zstencil,
+            "shaded": self.fragments_shaded,
+            "blended": self.fragments_blended,
+        }
+        return counts[stage] / (pixels * max(self.frames, 1))
+
+    # -- Table XIII -----------------------------------------------------
+    @property
+    def bilinears_per_texture_request(self) -> float:
+        if self.texture_requests == 0:
+            return 0.0
+        return self.bilinear_samples / self.texture_requests
+
+    @property
+    def alu_per_bilinear(self) -> float:
+        if self.bilinear_samples == 0:
+            return 0.0
+        return self.fragment_alu_instructions / self.bilinear_samples
+
+    # -- HZ effectiveness (Section III.C discussion) ----------------------
+    @property
+    def hz_effectiveness(self) -> float:
+        """Fraction of z-killable quads removed early by HZ."""
+        hz = self.quad_fates.get(QuadFate.HZ, 0)
+        zs = self.quad_fates.get(QuadFate.ZSTENCIL, 0)
+        total = hz + zs
+        return hz / total if total else 0.0

@@ -1,0 +1,372 @@
+"""Texture unit: sampling, filtering, LOD/anisotropy, and the cache pair.
+
+Implements the dynamic texturing behaviour Table XIII characterizes: each
+texture request costs a number of bilinear probes that depends on the filter
+(1 bilinear, 2 trilinear, up to ``2*max_aniso`` anisotropic), with the
+anisotropy ratio computed per quad from the UV footprint like the Feline
+family of algorithms.  Texel traffic flows through a two-level cache: L0
+holds decompressed 4x4-texel lines, L1 holds DXT-compressed memory lines;
+L1 misses are the GDDR texture traffic of Tables XV-XVII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.gpu.caches import Cache
+from repro.gpu.config import GpuConfig
+from repro.gpu.memory import MemoryController
+from repro.gpu.stats import MemClient
+from repro.util.morton import morton2d
+
+
+class TextureFormat(Enum):
+    """Storage formats; value = bytes per 4x4 texel block in memory."""
+
+    RGBA8 = 64
+    DXT1 = 8
+    DXT3 = 16
+    DXT5 = 16
+
+    @property
+    def block_bytes(self) -> int:
+        return self.value
+
+    @property
+    def bytes_per_texel(self) -> float:
+        return self.value / 16.0
+
+
+class TextureFilter(Enum):
+    BILINEAR = "bilinear"
+    TRILINEAR = "trilinear"
+    ANISOTROPIC = "anisotropic"
+
+
+@dataclass
+class TextureResource:
+    """An immutable mip-mapped 2D texture resident in GPU memory."""
+
+    name: str
+    mips: list[np.ndarray]  # each (h, w, 4) float32, halving per level
+    format: TextureFormat = TextureFormat.DXT1
+    base_address: int = 0  # assigned at registration
+
+    @staticmethod
+    def from_image(
+        name: str,
+        image: np.ndarray,
+        format: TextureFormat = TextureFormat.DXT1,
+    ) -> "TextureResource":
+        """Build the full mip chain from a base image by box filtering."""
+        base = np.asarray(image, dtype=np.float32)
+        if base.ndim != 3 or base.shape[2] != 4:
+            raise ValueError("image must be (h, w, 4)")
+        h, w = base.shape[:2]
+        if h & (h - 1) or w & (w - 1):
+            raise ValueError("texture dimensions must be powers of two")
+        mips = [base]
+        while h > 1 or w > 1:
+            nh, nw = max(1, h // 2), max(1, w // 2)
+            prev = mips[-1]
+            if h > 1 and w > 1:
+                next_mip = prev.reshape(nh, 2, nw, 2, 4).mean(axis=(1, 3))
+            elif h > 1:
+                next_mip = prev.reshape(nh, 2, nw, 4).mean(axis=1)
+            else:
+                next_mip = prev.reshape(nh, nw, 2, 4).mean(axis=2)
+            mips.append(next_mip.astype(np.float32))
+            h, w = nh, nw
+        return TextureResource(name=name, mips=mips, format=format)
+
+    @property
+    def width(self) -> int:
+        return self.mips[0].shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.mips[0].shape[0]
+
+    @property
+    def levels(self) -> int:
+        return len(self.mips)
+
+    def mip_block_offsets(self) -> list[int]:
+        """Byte offset of each mip level (in compressed blocks, Morton laid)."""
+        offsets = []
+        offset = 0
+        for mip in self.mips:
+            offsets.append(offset)
+            blocks_x = -(-mip.shape[1] // 4)
+            blocks_y = -(-mip.shape[0] // 4)
+            # Morton layout needs a square power-of-two extent.
+            extent = 1 << max(blocks_x - 1, blocks_y - 1, 1).bit_length()
+            offset += extent * extent * self.format.block_bytes
+        return offsets
+
+    @property
+    def compressed_bytes(self) -> int:
+        total = sum(
+            (-(-m.shape[1] // 4)) * (-(-m.shape[0] // 4)) for m in self.mips
+        )
+        return total * self.format.block_bytes
+
+
+@dataclass
+class TextureSampleStats:
+    """Per-draw texture statistics pulled by the pipeline."""
+
+    requests: int = 0
+    bilinear_samples: int = 0
+
+    def reset(self) -> "TextureSampleStats":
+        snap = TextureSampleStats(self.requests, self.bilinear_samples)
+        self.requests = 0
+        self.bilinear_samples = 0
+        return snap
+
+
+class TextureUnit:
+    """Sampler backend for the fragment interpreter plus cache/BW model."""
+
+    def __init__(self, config: GpuConfig, memory: MemoryController):
+        self.config = config
+        self.memory = memory
+        self.l0 = Cache(config.texture_l0)
+        self.l1 = Cache(config.texture_l1)
+        self._resources: dict[str, TextureResource] = {}
+        self._next_base = 0
+        self._bindings: dict[int, str] = {}
+        self._filter = TextureFilter.ANISOTROPIC
+        self._max_aniso = config.max_anisotropy
+        self._coverage: np.ndarray | None = None
+        self.stats = TextureSampleStats()
+
+    # -- setup -------------------------------------------------------------
+    def register(self, resource: TextureResource) -> TextureResource:
+        """Place a texture in the GPU texture address space."""
+        if resource.name in self._resources:
+            return self._resources[resource.name]
+        size = resource.compressed_bytes
+        aligned = -(-size // 4096) * 4096
+        resource.base_address = self._next_base
+        self._next_base += aligned
+        self._resources[resource.name] = resource
+        return resource
+
+    def bind(self, unit: int, name: str | None) -> None:
+        if name is None:
+            self._bindings.pop(unit, None)
+        else:
+            if name not in self._resources:
+                raise KeyError(f"texture {name!r} not registered")
+            self._bindings[unit] = name
+
+    def set_filter(self, filter: TextureFilter, max_aniso: int | None = None) -> None:
+        self._filter = filter
+        if max_aniso is not None:
+            self._max_aniso = max(1, min(max_aniso, self.config.max_anisotropy))
+
+    def set_coverage(self, coverage: np.ndarray | None) -> None:
+        """Lane coverage mask for the next program execution.
+
+        Helper lanes still compute derivatives but only covered lanes count
+        as requests and generate cache traffic.
+        """
+        self._coverage = coverage
+
+    # -- the SamplerCallback protocol ---------------------------------------
+    def __call__(self, unit: int, coords: np.ndarray) -> np.ndarray:
+        name = self._bindings.get(unit)
+        n = coords.shape[0]
+        if name is None:
+            return np.tile(np.array([1.0, 0.0, 1.0, 1.0]), (n, 1))  # debug pink
+        resource = self._resources[name]
+        if n % 4:
+            raise ValueError("texture coords must be quad-aligned (N % 4 == 0)")
+        u = coords[:, 0] * resource.width
+        v = coords[:, 1] * resource.height
+
+        lod, ratio, major_du, major_dv = self._footprint(u, v, resource)
+        covered = (
+            self._coverage
+            if self._coverage is not None
+            else np.ones(n, dtype=bool)
+        )
+
+        mip0 = np.floor(lod).astype(np.int64)
+        trilinear = self._filter in (
+            TextureFilter.TRILINEAR,
+            TextureFilter.ANISOTROPIC,
+        )
+        mip_count = np.where(trilinear & (lod > 0) & (mip0 < resource.levels - 1), 2, 1)
+        probes = ratio if self._filter is TextureFilter.ANISOTROPIC else np.ones_like(ratio)
+        bilinears = probes * mip_count
+
+        self.stats.requests += int(covered.sum())
+        self.stats.bilinear_samples += int(bilinears[covered].sum())
+
+        self._simulate_cache(
+            resource, u, v, mip0, probes, mip_count, major_du, major_dv, covered
+        )
+        return self._bilinear(resource, u, v, mip0).astype(np.float64)
+
+    # -- internals -----------------------------------------------------------
+    def _footprint(self, u: np.ndarray, v: np.ndarray, resource: TextureResource):
+        """Per-quad LOD and anisotropy from lane derivatives (broadcast to lanes)."""
+        q = u.shape[0] // 4
+        uq = u.reshape(q, 4)
+        vq = v.reshape(q, 4)
+        dudx = uq[:, 1] - uq[:, 0]
+        dvdx = vq[:, 1] - vq[:, 0]
+        dudy = uq[:, 2] - uq[:, 0]
+        dvdy = vq[:, 2] - vq[:, 0]
+        lx = np.hypot(dudx, dvdx)
+        ly = np.hypot(dudy, dvdy)
+        major = np.maximum(lx, ly)
+        minor = np.minimum(lx, ly)
+        if self._filter is TextureFilter.ANISOTROPIC:
+            ratio = np.ceil(major / np.maximum(minor, 1e-6))
+            ratio = np.clip(ratio, 1, self._max_aniso)
+            lod_len = major / ratio
+        else:
+            ratio = np.ones(q)
+            lod_len = major
+        lod = np.log2(np.maximum(lod_len, 1e-6))
+        lod = np.clip(lod, 0.0, resource.levels - 1.0)
+        x_major = lx >= ly
+        major_du = np.where(x_major, dudx, dudy)
+        major_dv = np.where(x_major, dvdx, dvdy)
+
+        def lanes(a: np.ndarray) -> np.ndarray:
+            return np.repeat(a, 4)
+
+        return lanes(lod), lanes(ratio), lanes(major_du), lanes(major_dv)
+
+    def _simulate_cache(
+        self,
+        resource: TextureResource,
+        u: np.ndarray,
+        v: np.ndarray,
+        mip0: np.ndarray,
+        probes: np.ndarray,
+        mip_count: np.ndarray,
+        major_du: np.ndarray,
+        major_dv: np.ndarray,
+        covered: np.ndarray,
+    ) -> None:
+        """Generate the L0/L1/memory reference stream for covered lanes."""
+        if not covered.any():
+            return
+        mip_offsets = resource.mip_block_offsets()
+        max_probes = int(probes[covered].max())
+        l0_addr_parts: list[np.ndarray] = []
+        u_c = u[covered]
+        v_c = v[covered]
+        mip0_c = mip0[covered]
+        probes_c = probes[covered]
+        mips_c = mip_count[covered]
+        du_c = major_du[covered]
+        dv_c = major_dv[covered]
+        for p in range(max_probes):
+            sel = probes_c > p
+            if not sel.any():
+                break
+            t = (p + 0.5) / probes_c[sel] - 0.5  # [-0.5, 0.5) along major axis
+            pu = u_c[sel] + t * du_c[sel]
+            pv = v_c[sel] + t * dv_c[sel]
+            for level_step in (0, 1):
+                lsel = mips_c[sel] > level_step
+                if not lsel.any():
+                    continue
+                level = np.minimum(mip0_c[sel][lsel] + level_step, resource.levels - 1)
+                # A bilinear probe reads a 2x2 texel footprint.  Reference
+                # its two diagonal corners (at the sampled mip's texel
+                # pitch): they bound the footprint's cache-line spread, so
+                # the hit rates reflect texel traffic like Table XIV does,
+                # at half the reference-stream cost of all four corners.
+                pitch = np.power(2.0, level.astype(np.float64))
+                for du, dv in ((0.0, 0.0), (1.0, 1.0)):
+                    addr = self._block_byte_addr(
+                        resource,
+                        pu[lsel] + (du - 0.5) * pitch,
+                        pv[lsel] + (dv - 0.5) * pitch,
+                        level,
+                        mip_offsets,
+                    )
+                    l0_addr_parts.append(addr)
+        if not l0_addr_parts:
+            return
+        block_addrs = np.concatenate(l0_addr_parts)
+        block_bytes = resource.format.block_bytes
+        # One L0 line holds one decompressed 4x4 block.
+        l0_lines = block_addrs // block_bytes
+        l0_result = self.l0.access_stream(l0_lines, write=False)
+        if not l0_result.miss_lines:
+            return
+        # L0 misses fetch the compressed block through L1 (64 B lines hold
+        # several DXT blocks, which is where compressed-space locality pays).
+        miss_block_addrs = np.asarray(l0_result.miss_lines, dtype=np.int64) * block_bytes
+        l1_lines = miss_block_addrs // self.config.texture_l1.line_bytes
+        l1_result = self.l1.access_stream(l1_lines, write=False)
+        if l1_result.misses:
+            self.memory.read(
+                MemClient.TEXTURE,
+                l1_result.misses * self.config.texture_l1.line_bytes,
+            )
+
+    def _block_byte_addr(
+        self,
+        resource: TextureResource,
+        u: np.ndarray,
+        v: np.ndarray,
+        level: np.ndarray,
+        mip_offsets: list[int],
+    ) -> np.ndarray:
+        """Compressed byte address of the 4x4 block holding texel (u, v).
+
+        (u, v) are base-mip texel units; blocks are Morton-laid within each
+        mip for 2D locality in the compressed address space.
+        """
+        scale = np.power(2.0, level.astype(np.float64))
+        w = np.maximum(resource.width >> np.minimum(level, 30), 1)
+        h = np.maximum(resource.height >> np.minimum(level, 30), 1)
+        tx = np.floor(u / scale).astype(np.int64) % w
+        ty = np.floor(v / scale).astype(np.int64) % h
+        bx = tx // 4
+        by = ty // 4
+        block = morton2d(bx.astype(np.uint64), by.astype(np.uint64)).astype(np.int64)
+        offs = np.asarray(mip_offsets, dtype=np.int64)[np.minimum(level, len(mip_offsets) - 1)]
+        return resource.base_address + offs + block * resource.format.block_bytes
+
+    def _bilinear(
+        self, resource: TextureResource, u: np.ndarray, v: np.ndarray, mip0: np.ndarray
+    ) -> np.ndarray:
+        """Bilinear color fetch at the floor mip (color approximation)."""
+        out = np.empty((u.shape[0], 4), dtype=np.float32)
+        for level in np.unique(mip0):
+            sel = mip0 == level
+            mip = resource.mips[int(level)]
+            h, w = mip.shape[:2]
+            mu = u[sel] / (1 << int(level)) - 0.5
+            mv = v[sel] / (1 << int(level)) - 0.5
+            x0 = np.floor(mu).astype(np.int64)
+            y0 = np.floor(mv).astype(np.int64)
+            fx = (mu - x0)[:, None]
+            fy = (mv - y0)[:, None]
+            x0w, x1w = x0 % w, (x0 + 1) % w
+            y0w, y1w = y0 % h, (y0 + 1) % h
+            c00 = mip[y0w, x0w]
+            c10 = mip[y0w, x1w]
+            c01 = mip[y1w, x0w]
+            c11 = mip[y1w, x1w]
+            out[sel] = (
+                c00 * (1 - fx) * (1 - fy)
+                + c10 * fx * (1 - fy)
+                + c01 * (1 - fx) * fy
+                + c11 * fx * fy
+            )
+        return out

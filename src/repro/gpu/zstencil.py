@@ -1,0 +1,166 @@
+"""Z and stencil test stage.
+
+Performs the per-fragment depth and stencil tests, the stencil update
+operations (including the two-sided wrap ops the Doom3/Quake4 shadow-volume
+algorithm relies on), the z-buffer writes, and the Z/stencil cache with
+fast-clear and plane compression — the machinery behind Tables IX, XIV, XV
+and XVII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.state import RenderState, StencilSide
+from repro.gpu.caches import Cache
+from repro.gpu.config import GpuConfig
+from repro.gpu.framebuffer import BlockState, Framebuffer
+from repro.gpu.memory import MemoryController
+from repro.gpu.rasterizer import QuadBatch
+from repro.gpu.stats import MemClient
+
+
+@dataclass
+class ZStencilResult:
+    pass_mask: np.ndarray  # (Q, 4) lanes passing both tests
+    wrote: np.ndarray  # (Q,) quads that modified z or stencil
+
+
+class ZStencilStage:
+    def __init__(
+        self, config: GpuConfig, framebuffer: Framebuffer, memory: MemoryController
+    ):
+        self.config = config
+        self.fb = framebuffer
+        self.memory = memory
+        self.cache = Cache(config.zstencil_cache)
+
+    def invalidate_cache(self) -> None:
+        """Drop cache contents without writeback (fast clear kills the data)."""
+        for cache_set in self.cache._sets:
+            cache_set.clear()
+
+    def process(
+        self, quads: QuadBatch, state: RenderState, alive: np.ndarray
+    ) -> ZStencilResult:
+        """Test/update the framebuffer for one triangle's quads.
+
+        ``alive``: (Q, 4) lanes still live entering the stage.  Returns the
+        surviving lanes and accounts all cache/memory traffic.
+        """
+        fb = self.fb
+        xs, ys = quads.pixel_coords()
+        cur_z = fb.z[ys, xs]
+        cur_s = fb.stencil[ys, xs]
+
+        if state.depth_test:
+            z_pass = _DEPTH_FUNCS[state.depth_func](quads.z, cur_z)
+        else:
+            z_pass = np.ones_like(alive)
+        if state.stencil_test:
+            s_pass = _STENCIL_FUNCS[state.stencil_func](cur_s, state.stencil_ref)
+        else:
+            s_pass = np.ones_like(alive)
+
+        passed = alive & z_pass & s_pass
+        wrote_any = np.zeros(quads.qx.shape[0], dtype=bool)
+
+        # Stencil updates.
+        if state.stencil_test and state.stencil_write:
+            side = state.stencil_front if quads.front else state.stencil_back
+            new_s = cur_s.copy()
+            sfail = alive & ~s_pass
+            zfail = alive & s_pass & ~z_pass
+            zpass = passed
+            for mask, op in (
+                (sfail, side.sfail),
+                (zfail, side.zfail),
+                (zpass, side.zpass),
+            ):
+                if op == "keep" or not mask.any():
+                    continue
+                new_s[mask] = _apply_stencil_op(op, cur_s[mask], state.stencil_ref)
+            changed = new_s != cur_s
+            if changed.any():
+                fb.stencil[ys[changed], xs[changed]] = new_s[changed]
+                wrote_any |= changed.any(axis=1)
+                touched = changed.any(axis=1)
+                bx, by = fb.quad_block_coords(
+                    quads.qx[touched], quads.qy[touched]
+                )
+                fb.note_stencil_write(bx, by)
+
+        # Depth writes.
+        if state.depth_test and state.depth_write:
+            write_mask = passed
+            if write_mask.any():
+                fb.z[ys[write_mask], xs[write_mask]] = quads.z[write_mask]
+                wrote_any |= write_mask.any(axis=1)
+
+        self._account_cache(quads, wrote_any)
+        return ZStencilResult(pass_mask=passed, wrote=wrote_any)
+
+    def update_hz(self, quads: QuadBatch, wrote: np.ndarray) -> None:
+        """Refresh the on-die HZ max for blocks whose z changed."""
+        if not wrote.any():
+            return
+        bx, by = self.fb.quad_block_coords(quads.qx[wrote], quads.qy[wrote])
+        packed = np.unique(by.astype(np.int64) * self.fb.blocks_x + bx)
+        self.fb.update_hz(packed % self.fb.blocks_x, packed // self.fb.blocks_x)
+
+    def _account_cache(self, quads: QuadBatch, wrote: np.ndarray) -> None:
+        fb = self.fb
+        bx, by = fb.quad_block_coords(quads.qx, quads.qy)
+        lines = fb.block_line_index(bx, by)
+        result = self.cache.access_runs(lines, wrote)
+        line_bytes = self.config.zstencil_cache.line_bytes
+        # Miss fills: cost depends on the block's in-memory state.
+        for line in result.miss_lines:
+            y, x = divmod(line, fb.blocks_x)
+            block_state = fb.z_block_state[y, x]
+            if block_state == BlockState.CLEARED and self.config.z_fast_clear:
+                continue
+            if block_state == BlockState.COMPRESSED and self.config.z_compression:
+                self.memory.read(MemClient.ZSTENCIL, line_bytes // 2)
+            else:
+                self.memory.read(MemClient.ZSTENCIL, line_bytes)
+        # Dirty evictions: try to compress the block being written back.
+        for addr in result.dirty_evictions:
+            line = addr // line_bytes
+            y, x = divmod(line, fb.blocks_x)
+            if self.config.z_compression and fb.z_block_compressible(x, y):
+                self.memory.write(MemClient.ZSTENCIL, line_bytes // 2)
+                fb.z_block_state[y, x] = BlockState.COMPRESSED
+            else:
+                self.memory.write(MemClient.ZSTENCIL, line_bytes)
+                fb.z_block_state[y, x] = BlockState.UNCOMPRESSED
+
+
+def _apply_stencil_op(op: str, values: np.ndarray, ref: int) -> np.ndarray:
+    if op == "zero":
+        return np.zeros_like(values)
+    if op == "replace":
+        return np.full_like(values, ref)
+    if op == "incr_wrap":
+        return (values + 1) % 256
+    if op == "decr_wrap":
+        return (values - 1) % 256
+    raise ValueError(f"unknown stencil op {op!r}")
+
+
+_DEPTH_FUNCS = {
+    "never": lambda new, cur: np.zeros_like(new, dtype=bool),
+    "less": lambda new, cur: new < cur,
+    "lequal": lambda new, cur: new <= cur,
+    "equal": lambda new, cur: np.abs(new - cur) <= 1e-7,
+    "always": lambda new, cur: np.ones_like(new, dtype=bool),
+}
+
+_STENCIL_FUNCS = {
+    "always": lambda cur, ref: np.ones_like(cur, dtype=bool),
+    "never": lambda cur, ref: np.zeros_like(cur, dtype=bool),
+    "equal": lambda cur, ref: cur == ref,
+    "notequal": lambda cur, ref: cur != ref,
+}

@@ -1,0 +1,25 @@
+"""ARB-assembly-flavoured shader model.
+
+The paper characterizes shader programs by executed instruction counts and by
+the split between ALU and texture instructions (Tables IV and XII).  This
+package provides a small but real instruction set, an assembler, a vectorized
+interpreter used by the GPU simulator's vertex and fragment stages, and a
+library of per-engine programs whose lengths match the paper's workloads.
+"""
+
+from repro.shader.isa import Opcode, Operand, Instruction
+from repro.shader.program import ShaderProgram, ShaderStage, assemble
+from repro.shader.interpreter import ShaderInterpreter, SamplerCallback
+from repro.shader import library
+
+__all__ = [
+    "Opcode",
+    "Operand",
+    "Instruction",
+    "ShaderProgram",
+    "ShaderStage",
+    "assemble",
+    "ShaderInterpreter",
+    "SamplerCallback",
+    "library",
+]

@@ -1,0 +1,236 @@
+"""Vectorized shader interpreter.
+
+Executes a :class:`~repro.shader.program.ShaderProgram` over N elements
+(vertices or fragments) at once.  Register state is a dense ``(N, 4)`` numpy
+array per register, which is what lets the simulator shade an entire draw
+call's vertices or surviving fragments in a handful of numpy operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.shader.isa import Instruction, Opcode, Operand
+from repro.shader.program import ShaderProgram
+
+
+class SamplerCallback(Protocol):
+    """Texture-sampling hook: ``(sampler_unit, coords) -> (N, 4) colors``.
+
+    ``coords`` is the full ``(N, 4)`` source register (units use ``.xy``; TXP
+    receives the projective ``.w`` too).  The GPU texture stage implements
+    this protocol; tests can pass simple lambdas.
+    """
+
+    def __call__(self, unit: int, coords: np.ndarray) -> np.ndarray: ...
+
+
+class ShaderExecutionError(RuntimeError):
+    """Raised when a program reads a register that was never written."""
+
+
+class ShaderInterpreter:
+    """Executes shader programs over vectors of elements."""
+
+    def __init__(self, sampler: SamplerCallback | None = None):
+        self._sampler = sampler
+
+    def run(
+        self,
+        program: ShaderProgram,
+        inputs: dict[int, np.ndarray],
+        count: int | None = None,
+        constants: dict[int, tuple[float, float, float, float]] | None = None,
+    ) -> "ShaderResult":
+        """Execute ``program`` over all elements.
+
+        ``inputs`` maps attribute/varying register indices (bank ``v``) to
+        ``(N, 4)`` or ``(N, k<=4)`` arrays (missing components default to
+        ``(0, 0, 0, 1)`` padding as in OpenGL).  ``constants`` supplies or
+        overrides constant registers at draw time (e.g. the MVP matrix rows).
+        """
+        n = count
+        for arr in inputs.values():
+            n = arr.shape[0] if n is None else n
+            if arr.shape[0] != n:
+                raise ValueError("all input arrays must share leading dimension")
+        if n is None:
+            raise ValueError("cannot infer element count: pass count=")
+
+        regs: dict[tuple[str, int], np.ndarray] = {}
+        for idx, arr in inputs.items():
+            regs[("v", idx)] = _pad_to_vec4(np.asarray(arr, dtype=np.float64), n)
+        merged_constants = dict(program.constants)
+        if constants:
+            merged_constants.update(constants)
+        for idx, value in merged_constants.items():
+            regs[("c", idx)] = np.broadcast_to(
+                np.asarray(value, dtype=np.float64), (n, 4)
+            )
+
+        kill_mask = np.zeros(n, dtype=bool)
+        texture_requests = 0
+        for inst in program.instructions:
+            if inst.opcode is Opcode.KIL:
+                src = self._read(regs, inst.sources[0], n)
+                kill_mask |= (src < 0.0).any(axis=1)
+                continue
+            if inst.opcode.is_texture:
+                if self._sampler is None:
+                    raise ShaderExecutionError(
+                        f"program {program.name!r} samples textures but no "
+                        "sampler callback was provided"
+                    )
+                coords = self._read(regs, inst.sources[0], n)
+                if inst.opcode is Opcode.TXP:
+                    w = coords[:, 3:4]
+                    safe_w = np.where(w == 0.0, 1.0, w)
+                    coords = coords / safe_w
+                value = np.asarray(
+                    self._sampler(inst.sampler, coords), dtype=np.float64
+                )
+                if value.shape != (n, 4):
+                    raise ShaderExecutionError(
+                        f"sampler returned shape {value.shape}, wanted {(n, 4)}"
+                    )
+                texture_requests += n
+                self._write(regs, inst.dest, value)
+                continue
+            srcs = [self._read(regs, s, n) for s in inst.sources]
+            self._write(regs, inst.dest, _ALU_OPS[inst.opcode](*srcs))
+
+        outputs = {
+            idx: arr for (bank, idx), arr in regs.items() if bank == "o"
+        }
+        return ShaderResult(
+            outputs=outputs,
+            kill_mask=kill_mask,
+            instructions_executed=program.instruction_count * n,
+            texture_requests=texture_requests,
+        )
+
+    @staticmethod
+    def _read(regs, operand: Operand, n: int) -> np.ndarray:
+        key = (operand.bank, operand.index)
+        if key not in regs:
+            raise ShaderExecutionError(
+                f"read of unwritten register {operand.bank}{operand.index}"
+            )
+        value = regs[key]
+        swz = list(operand.swizzle)
+        while len(swz) < 4:
+            swz.append(swz[-1])  # replicate last component, ARB-style
+        value = value[:, swz]
+        return -value if operand.negate else value
+
+    @staticmethod
+    def _write(regs, operand: Operand, value: np.ndarray) -> None:
+        key = (operand.bank, operand.index)
+        mask = operand.swizzle  # destination swizzle acts as a write mask
+        if mask == (0, 1, 2, 3):
+            regs[key] = value.copy() if value.base is not None else value
+            return
+        if key not in regs:
+            regs[key] = np.zeros_like(value)
+        target = regs[key]
+        if target.base is not None or not target.flags.writeable:
+            target = np.array(target)
+            regs[key] = target
+        # ARB semantics: the result is computed 4-wide and the mask selects
+        # which destination components are updated from the same lane.
+        for comp in sorted(set(mask)):
+            target[:, comp] = value[:, comp]
+
+
+class ShaderResult:
+    """Output registers plus the execution statistics the tracer consumes."""
+
+    def __init__(
+        self,
+        outputs: dict[int, np.ndarray],
+        kill_mask: np.ndarray,
+        instructions_executed: int,
+        texture_requests: int,
+    ):
+        self.outputs = outputs
+        self.kill_mask = kill_mask
+        self.instructions_executed = instructions_executed
+        self.texture_requests = texture_requests
+
+    def output(self, index: int) -> np.ndarray:
+        if index not in self.outputs:
+            raise ShaderExecutionError(f"program never wrote output o{index}")
+        return self.outputs[index]
+
+
+def _pad_to_vec4(arr: np.ndarray, n: int) -> np.ndarray:
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    k = arr.shape[1]
+    if k == 4:
+        return arr
+    out = np.zeros((n, 4), dtype=np.float64)
+    out[:, 3] = 1.0
+    out[:, :k] = arr
+    return out
+
+
+def _dp(a: np.ndarray, b: np.ndarray, comps: int) -> np.ndarray:
+    s = (a[:, :comps] * b[:, :comps]).sum(axis=1, keepdims=True)
+    return np.repeat(s, 4, axis=1)
+
+
+def _safe_rcp(a: np.ndarray) -> np.ndarray:
+    x = a[:, :1]
+    return np.repeat(np.where(x == 0.0, np.inf, 1.0 / np.where(x == 0.0, 1.0, x)), 4, axis=1)
+
+
+def _safe_rsq(a: np.ndarray) -> np.ndarray:
+    x = np.abs(a[:, :1])
+    return np.repeat(np.where(x == 0.0, np.inf, 1.0 / np.sqrt(np.where(x == 0.0, 1.0, x))), 4, axis=1)
+
+
+def _nrm(a: np.ndarray) -> np.ndarray:
+    norm = np.sqrt((a[:, :3] ** 2).sum(axis=1, keepdims=True))
+    norm = np.where(norm == 0.0, 1.0, norm)
+    out = a.copy()
+    out[:, :3] = a[:, :3] / norm
+    return out
+
+
+def _xpd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty_like(a)
+    out[:, 0] = a[:, 1] * b[:, 2] - a[:, 2] * b[:, 1]
+    out[:, 1] = a[:, 2] * b[:, 0] - a[:, 0] * b[:, 2]
+    out[:, 2] = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+    out[:, 3] = 1.0
+    return out
+
+
+_ALU_OPS: dict[Opcode, Callable[..., np.ndarray]] = {
+    Opcode.MOV: lambda a: a,
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.MAD: lambda a, b, c: a * b + c,
+    Opcode.DP3: lambda a, b: _dp(a, b, 3),
+    Opcode.DP4: lambda a, b: _dp(a, b, 4),
+    Opcode.RCP: _safe_rcp,
+    Opcode.RSQ: _safe_rsq,
+    Opcode.MIN: np.minimum,
+    Opcode.MAX: np.maximum,
+    Opcode.SLT: lambda a, b: (a < b).astype(np.float64),
+    Opcode.SGE: lambda a, b: (a >= b).astype(np.float64),
+    Opcode.FRC: lambda a: a - np.floor(a),
+    Opcode.LRP: lambda a, b, c: a * b + (1.0 - a) * c,
+    Opcode.CMP: lambda a, b, c: np.where(a < 0.0, b, c),
+    Opcode.XPD: _xpd,
+    Opcode.LG2: lambda a: np.log2(np.maximum(np.abs(a), 1e-30)),
+    Opcode.EX2: lambda a: np.exp2(np.clip(a, -126, 126)),
+    Opcode.POW: lambda a, b: np.power(
+        np.maximum(np.abs(a[:, :1]), 1e-30), b[:, :1]
+    ).repeat(4, axis=1),
+    Opcode.NRM: _nrm,
+}

@@ -1,0 +1,181 @@
+"""Shader instruction set definition.
+
+The ISA mirrors the ARB vertex/fragment program model that both the paper's
+OpenGL workloads and the ATTILA shader core use: 4-wide registers, source
+swizzles and negation, destination write masks, and a texture-sampling
+instruction class (TEX/TXP/TXB) plus the fragment-kill instruction (KIL) that
+ATTILA uses to implement the alpha test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Opcode(Enum):
+    """Supported opcodes, a practical subset of ARB_vertex/fragment_program."""
+
+    MOV = "MOV"
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    MAD = "MAD"
+    DP3 = "DP3"
+    DP4 = "DP4"
+    RCP = "RCP"
+    RSQ = "RSQ"
+    MIN = "MIN"
+    MAX = "MAX"
+    SLT = "SLT"
+    SGE = "SGE"
+    FRC = "FRC"
+    LRP = "LRP"
+    CMP = "CMP"
+    XPD = "XPD"
+    LG2 = "LG2"
+    EX2 = "EX2"
+    POW = "POW"
+    NRM = "NRM"
+    TEX = "TEX"
+    TXP = "TXP"
+    TXB = "TXB"
+    KIL = "KIL"
+
+    @property
+    def is_texture(self) -> bool:
+        """True for instructions that issue a texture request."""
+        return self in (Opcode.TEX, Opcode.TXP, Opcode.TXB)
+
+    @property
+    def is_kill(self) -> bool:
+        return self is Opcode.KIL
+
+
+#: Number of source operands each opcode consumes (KIL's operand is a source).
+SOURCE_COUNTS = {
+    Opcode.MOV: 1,
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.MAD: 3,
+    Opcode.DP3: 2,
+    Opcode.DP4: 2,
+    Opcode.RCP: 1,
+    Opcode.RSQ: 1,
+    Opcode.MIN: 2,
+    Opcode.MAX: 2,
+    Opcode.SLT: 2,
+    Opcode.SGE: 2,
+    Opcode.FRC: 1,
+    Opcode.LRP: 3,
+    Opcode.CMP: 3,
+    Opcode.XPD: 2,
+    Opcode.LG2: 1,
+    Opcode.EX2: 1,
+    Opcode.POW: 2,
+    Opcode.NRM: 1,
+    Opcode.TEX: 1,
+    Opcode.TXP: 1,
+    Opcode.TXB: 1,
+    Opcode.KIL: 1,
+}
+
+#: Register banks. ``v`` = vertex attributes / fragment varyings, ``r`` =
+#: temporaries, ``c`` = constants, ``o`` = outputs, ``s`` = texture samplers.
+REGISTER_BANKS = ("v", "r", "c", "o", "s")
+
+_COMPONENTS = {"x": 0, "y": 1, "z": 2, "w": 3, "r": 0, "g": 1, "b": 2, "a": 3}
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A register reference with optional swizzle / write mask and negation.
+
+    ``bank`` is one of :data:`REGISTER_BANKS`; ``index`` selects the register;
+    ``swizzle`` is a 4-tuple of component indices for sources, or the write
+    mask component set for destinations; ``negate`` applies to sources only.
+    """
+
+    bank: str
+    index: int
+    swizzle: tuple[int, ...] = (0, 1, 2, 3)
+    negate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bank not in REGISTER_BANKS:
+            raise ValueError(f"unknown register bank {self.bank!r}")
+        if self.index < 0:
+            raise ValueError("register index must be non-negative")
+        if not self.swizzle or len(self.swizzle) > 4:
+            raise ValueError("swizzle must have 1..4 components")
+        if any(c not in (0, 1, 2, 3) for c in self.swizzle):
+            raise ValueError("swizzle components must be 0..3")
+
+    @classmethod
+    def parse(cls, text: str) -> "Operand":
+        """Parse an operand like ``r0``, ``-c4.xyzx``, ``o0.xy``."""
+        text = text.strip()
+        negate = text.startswith("-")
+        if negate:
+            text = text[1:]
+        if "." in text:
+            reg, _, swz = text.partition(".")
+            try:
+                swizzle = tuple(_COMPONENTS[ch] for ch in swz)
+            except KeyError as exc:
+                raise ValueError(f"bad swizzle in {text!r}") from exc
+            if not swizzle:
+                raise ValueError(f"empty swizzle in {text!r}")
+        else:
+            reg, swizzle = text, (0, 1, 2, 3)
+        if not reg or reg[0] not in REGISTER_BANKS or not reg[1:].isdigit():
+            raise ValueError(f"bad register {text!r}")
+        return cls(bank=reg[0], index=int(reg[1:]), swizzle=swizzle, negate=negate)
+
+    def __str__(self) -> str:
+        comps = "xyzw"
+        swz = "".join(comps[c] for c in self.swizzle)
+        suffix = "" if self.swizzle == (0, 1, 2, 3) else f".{swz}"
+        return f"{'-' if self.negate else ''}{self.bank}{self.index}{suffix}"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One shader instruction: opcode, optional destination, sources.
+
+    For texture instructions ``sampler`` names the texture unit sampled.
+    KIL has no destination.
+    """
+
+    opcode: Opcode
+    dest: Operand | None
+    sources: tuple[Operand, ...] = field(default_factory=tuple)
+    sampler: int | None = None
+
+    def __post_init__(self) -> None:
+        expected = SOURCE_COUNTS[self.opcode]
+        if len(self.sources) != expected:
+            raise ValueError(
+                f"{self.opcode.value} expects {expected} sources, "
+                f"got {len(self.sources)}"
+            )
+        if self.opcode.is_kill:
+            if self.dest is not None:
+                raise ValueError("KIL takes no destination")
+        elif self.dest is None:
+            raise ValueError(f"{self.opcode.value} requires a destination")
+        if self.opcode.is_texture and self.sampler is None:
+            raise ValueError(f"{self.opcode.value} requires a sampler")
+        if self.dest is not None and self.dest.bank not in ("r", "o"):
+            raise ValueError("destination must be a temporary or output register")
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        operands = []
+        if self.dest is not None:
+            operands.append(str(self.dest))
+        operands.extend(str(s) for s in self.sources)
+        if self.sampler is not None:
+            operands.append(f"s{self.sampler}")
+        return f"{parts[0]} " + ", ".join(operands)

@@ -1,0 +1,31 @@
+"""Shared helpers: small vector math, Morton codes, text plotting, tables."""
+
+from repro.util.mathutil import (
+    normalize,
+    perspective,
+    look_at,
+    translate,
+    rotate_y,
+    rotate_x,
+    scale as scale_matrix,
+    identity,
+)
+from repro.util.morton import morton2d, demorton2d
+from repro.util.asciiplot import ascii_series, sparkline
+from repro.util.tables import format_table
+
+__all__ = [
+    "normalize",
+    "perspective",
+    "look_at",
+    "translate",
+    "rotate_y",
+    "rotate_x",
+    "scale_matrix",
+    "identity",
+    "morton2d",
+    "demorton2d",
+    "ascii_series",
+    "sparkline",
+    "format_table",
+]

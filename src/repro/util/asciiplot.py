@@ -1,0 +1,90 @@
+"""Terminal plotting for the experiment harness.
+
+The paper's figures are per-frame time series.  The benchmark harness renders
+each series both as CSV (for external plotting) and as a compact ASCII chart
+so the shape is visible directly in the bench log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render ``values`` as a one-line density sparkline of ``width`` chars."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    resampled = _resample(values, width)
+    lo, hi = min(resampled), max(resampled)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in resampled:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def ascii_series(
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render one or more named series as a multi-line ASCII chart.
+
+    Each series gets a distinct glyph; the legend maps glyphs to names.
+    ``logy`` plots log10 of the values (zeros clamped), mirroring the paper's
+    logarithmic state-call plots (Fig. 3).
+    """
+    glyphs = "ox+*#@%&"
+    names = list(series)
+    prepared: dict[str, list[float]] = {}
+    for name in names:
+        vals = [float(v) for v in series[name]]
+        if logy:
+            vals = [math.log10(max(v, 1e-9)) for v in vals]
+        prepared[name] = _resample(vals, width)
+    flat = [v for vals in prepared.values() for v in vals]
+    if not flat:
+        return title
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        glyph = glyphs[si % len(glyphs)]
+        for x, v in enumerate(prepared[name]):
+            y = int((v - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}" + (" (log10)" if logy else "")
+    lines.append(top_label)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"  {lo:.4g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    """Average-bin ``values`` down (or index-stretch up) to ``width`` samples."""
+    n = len(values)
+    if n == 0:
+        return []
+    if n <= width:
+        return [values[int(i * n / width)] for i in range(width)]
+    out = []
+    for i in range(width):
+        a = int(i * n / width)
+        b = max(a + 1, int((i + 1) * n / width))
+        chunk = values[a:b]
+        out.append(sum(chunk) / len(chunk))
+    return out

@@ -1,0 +1,117 @@
+"""Small 3D math helpers used by the geometry stage and the workloads.
+
+All matrices are 4x4 ``float64`` numpy arrays in row-vector-on-the-right
+convention (``clip = M @ position``), matching the classic OpenGL fixed
+function stack the paper's workloads were written against.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def identity() -> np.ndarray:
+    """Return a 4x4 identity matrix."""
+    return np.eye(4, dtype=np.float64)
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` scaled to unit length (zero vectors are returned as-is)."""
+    v = np.asarray(v, dtype=np.float64)
+    n = np.linalg.norm(v)
+    if n == 0.0:
+        return v
+    return v / n
+
+
+def translate(tx: float, ty: float, tz: float) -> np.ndarray:
+    """Return a translation matrix."""
+    m = identity()
+    m[0, 3] = tx
+    m[1, 3] = ty
+    m[2, 3] = tz
+    return m
+
+
+def scale(sx: float, sy: float, sz: float) -> np.ndarray:
+    """Return a non-uniform scale matrix."""
+    m = identity()
+    m[0, 0] = sx
+    m[1, 1] = sy
+    m[2, 2] = sz
+    return m
+
+
+def rotate_y(angle_rad: float) -> np.ndarray:
+    """Return a rotation about the +Y axis."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    m = identity()
+    m[0, 0] = c
+    m[0, 2] = s
+    m[2, 0] = -s
+    m[2, 2] = c
+    return m
+
+
+def rotate_x(angle_rad: float) -> np.ndarray:
+    """Return a rotation about the +X axis."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    m = identity()
+    m[1, 1] = c
+    m[1, 2] = -s
+    m[2, 1] = s
+    m[2, 2] = c
+    return m
+
+
+def perspective(fovy_deg: float, aspect: float, znear: float, zfar: float) -> np.ndarray:
+    """Return an OpenGL-style perspective projection matrix.
+
+    Maps the view frustum to the clip volume ``-w <= x,y,z <= w``.
+    """
+    if znear <= 0 or zfar <= znear:
+        raise ValueError("require 0 < znear < zfar")
+    f = 1.0 / math.tan(math.radians(fovy_deg) / 2.0)
+    m = np.zeros((4, 4), dtype=np.float64)
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (zfar + znear) / (znear - zfar)
+    m[2, 3] = (2.0 * zfar * znear) / (znear - zfar)
+    m[3, 2] = -1.0
+    return m
+
+
+def look_at(eye, target, up=(0.0, 1.0, 0.0)) -> np.ndarray:
+    """Return a right-handed view matrix looking from ``eye`` towards ``target``."""
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    fwd = normalize(target - eye)
+    if np.linalg.norm(fwd) == 0.0:
+        raise ValueError("eye and target coincide")
+    side = normalize(np.cross(fwd, np.asarray(up, dtype=np.float64)))
+    true_up = np.cross(side, fwd)
+    m = identity()
+    m[0, :3] = side
+    m[1, :3] = true_up
+    m[2, :3] = -fwd
+    m[0, 3] = -side @ eye
+    m[1, 3] = -true_up @ eye
+    m[2, 3] = fwd @ eye
+    return m
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 matrix to an (N, 3) array of points, returning (N, 4) clip coords."""
+    points = np.asarray(points, dtype=np.float64)
+    homo = np.empty((points.shape[0], 4), dtype=np.float64)
+    homo[:, :3] = points
+    homo[:, 3] = 1.0
+    return homo @ matrix.T
+
+
+def transform_directions(matrix: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+    """Apply the rotational part of a 4x4 matrix to an (N, 3) array of directions."""
+    dirs = np.asarray(dirs, dtype=np.float64)
+    return dirs @ matrix[:3, :3].T

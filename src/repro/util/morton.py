@@ -1,0 +1,50 @@
+"""Morton (Z-order) curve helpers.
+
+GPU memory layouts tile 2D surfaces (textures, framebuffers) along a
+space-filling curve so that 2D-local accesses map to nearby addresses.  The
+simulator uses Morton order for texture block addressing, which is what gives
+the texture caches their high spatial hit rates (paper Table XIV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_PART_TABLE = None
+
+
+def _part_table() -> np.ndarray:
+    """Lookup table spreading the low 16 bits of an int into even bit slots."""
+    global _PART_TABLE
+    if _PART_TABLE is None:
+        n = np.arange(1 << 16, dtype=np.uint64)
+        x = n
+        x = (x | (x << 8)) & np.uint64(0x00FF00FF00FF00FF)
+        x = (x | (x << 4)) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        x = (x | (x << 2)) & np.uint64(0x3333333333333333)
+        x = (x | (x << 1)) & np.uint64(0x5555555555555555)
+        _PART_TABLE = x
+    return _PART_TABLE
+
+
+def morton2d(x, y):
+    """Interleave the bits of ``x`` and ``y`` (arrays or scalars, < 2**16)."""
+    table = _part_table()
+    xs = table[np.asarray(x, dtype=np.uint64)]
+    ys = table[np.asarray(y, dtype=np.uint64)]
+    return xs | (ys << np.uint64(1))
+
+
+def demorton2d(code):
+    """Inverse of :func:`morton2d`; returns ``(x, y)``."""
+    code = np.asarray(code, dtype=np.uint64)
+
+    def compact(v: np.ndarray) -> np.ndarray:
+        v = v & np.uint64(0x5555555555555555)
+        v = (v | (v >> np.uint64(1))) & np.uint64(0x3333333333333333)
+        v = (v | (v >> np.uint64(2))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        v = (v | (v >> np.uint64(4))) & np.uint64(0x00FF00FF00FF00FF)
+        v = (v | (v >> np.uint64(8))) & np.uint64(0x0000FFFF0000FFFF)
+        return v
+
+    return compact(code), compact(code >> np.uint64(1))

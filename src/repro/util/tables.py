@@ -1,0 +1,58 @@
+"""Plain-text table formatting for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Numbers are right-aligned, text left-aligned; floats are rendered with up
+    to four significant decimals, matching the precision the paper reports.
+    """
+    rendered: list[list[str]] = [[_cell(h) for h in headers]]
+    for row in rows:
+        rendered.append([_cell(v) for v in row])
+    widths = [max(len(r[c]) for r in rendered) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(rendered):
+        cells = []
+        for c, text in enumerate(row):
+            source = headers if i == 0 else None
+            is_num = source is None and _is_number_text(text)
+            cells.append(text.rjust(widths[c]) if is_num else text.ljust(widths[c]))
+        lines.append(" | ".join(cells))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:,.0f}" if abs(value) >= 1000 else f"{value:.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_number_text(text: str) -> bool:
+    stripped = text.replace(",", "").replace("%", "").strip()
+    if not stripped or stripped == "-":
+        return True
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,31 @@
+"""Synthetic game workloads.
+
+Real game timedemos cannot be shipped, so this package substitutes
+procedurally generated ones: each of the paper's twelve Table-I workloads is
+modelled by an engine profile (render path, shader lengths, primitive mix,
+batch structure) plus a scene and camera path, calibrated so the API-level
+statistics land near the published values and the microarchitectural
+behaviour (multi-pass stencil shadows, overdraw, texture filtering) matches
+in shape.
+"""
+
+from repro.workloads.spec import WorkloadSpec, SimProfile, EngineParams
+from repro.workloads.registry import (
+    WORKLOADS,
+    OPENGL_SIMULATED,
+    workload,
+    all_workloads,
+)
+from repro.workloads.generator import GameWorkload, build_workload
+
+__all__ = [
+    "WorkloadSpec",
+    "SimProfile",
+    "EngineParams",
+    "WORKLOADS",
+    "OPENGL_SIMULATED",
+    "workload",
+    "all_workloads",
+    "GameWorkload",
+    "build_workload",
+]

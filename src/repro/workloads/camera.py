@@ -1,0 +1,135 @@
+"""Timedemo camera paths.
+
+A timedemo is a recorded fly-through; we synthesize one as a deterministic
+parametric path.  Corridor paths walk room to room with gentle look-around
+(indoor games); terrain paths orbit/advance over open ground (Oblivion).
+The look-around is what makes batches-per-frame vary over time (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.mathutil import look_at, perspective
+
+
+@dataclass(frozen=True)
+class CameraShot:
+    """One frame's camera: view/projection matrices and position."""
+
+    view: np.ndarray
+    projection: np.ndarray
+    position: np.ndarray
+
+    @property
+    def view_projection(self) -> np.ndarray:
+        return self.projection @ self.view
+
+
+class CorridorPath:
+    """Walk down a corridor of ``rooms`` rooms of ``room_length`` units.
+
+    The camera advances continuously, bobs slightly, and yaws with two
+    superposed sinusoids — enough look-around that the visible set (and so
+    the batch count) fluctuates like an interactive demo.
+    """
+
+    def __init__(
+        self,
+        rooms: int,
+        room_length: float,
+        frames: int,
+        fov_deg: float = 74.0,
+        aspect: float = 4.0 / 3.0,
+        eye_height: float = 1.7,
+        znear: float = 0.3,
+        zfar: float = 500.0,
+        loops: int = 1,
+    ):
+        self.rooms = rooms
+        self.room_length = room_length
+        self.frames = max(1, frames)
+        self.proj = perspective(fov_deg, aspect, znear, zfar)
+        self.eye_height = eye_height
+        self.loops = max(1, loops)
+
+    def room_at(self, frame: int) -> int:
+        t = (frame * self.loops / self.frames) % 1.0
+        return min(int(t * self.rooms), self.rooms - 1)
+
+    def shot(self, frame: int) -> CameraShot:
+        t = (frame * self.loops / self.frames) % 1.0
+        total = self.rooms * self.room_length
+        zpos = -t * total
+        yaw = 0.8 * math.sin(t * 21.0) + 0.45 * math.sin(t * 57.0 + 1.3)
+        pitch = 0.12 * math.sin(t * 33.0)
+        bob = 0.06 * math.sin(t * 160.0)
+        sway = 0.8 * math.sin(t * 13.0)
+        eye = np.array([sway, self.eye_height + bob, zpos])
+        forward = np.array(
+            [
+                math.sin(yaw) * math.cos(pitch),
+                math.sin(pitch),
+                -math.cos(yaw) * math.cos(pitch),
+            ]
+        )
+        view = look_at(eye, eye + forward)
+        return CameraShot(view=view, projection=self.proj, position=eye)
+
+
+class TerrainPath:
+    """Fly over open terrain (the Oblivion 'Anvil Castle' style path).
+
+    The first half circles a 'castle' area; the second half heads out over
+    open countryside — the paper's two distinct Oblivion regions.
+    """
+
+    def __init__(
+        self,
+        extent: float,
+        frames: int,
+        fov_deg: float = 75.0,
+        aspect: float = 4.0 / 3.0,
+        height: float = 8.0,
+        znear: float = 0.5,
+        zfar: float = 2000.0,
+    ):
+        self.extent = extent
+        self.frames = max(1, frames)
+        self.proj = perspective(fov_deg, aspect, znear, zfar)
+        self.height = height
+
+    def region(self, frame: int) -> int:
+        """0 = castle half, 1 = countryside half."""
+        return 0 if frame < self.frames // 2 else 1
+
+    def shot(self, frame: int) -> CameraShot:
+        t = frame / self.frames
+        if self.region(frame) == 0:
+            angle = t * 4.0 * math.pi
+            radius = self.extent * 0.12
+            eye = np.array(
+                [
+                    radius * math.cos(angle),
+                    self.height + 2.0 * math.sin(t * 20.0),
+                    radius * math.sin(angle),
+                ]
+            )
+            target = np.array([0.0, self.height * 0.4, 0.0])
+        else:
+            u = (t - 0.5) * 2.0
+            eye = np.array(
+                [
+                    self.extent * (0.12 + 0.3 * u),
+                    self.height + 3.0 * math.sin(u * 9.0),
+                    self.extent * 0.25 * math.sin(u * 5.0),
+                ]
+            )
+            look = eye + np.array(
+                [math.cos(u * 2.2), -0.12, math.sin(u * 2.2)]
+            ) * 40.0
+            target = look
+        return CameraShot(view=look_at(eye, target), projection=self.proj, position=eye)

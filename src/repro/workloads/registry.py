@@ -1,0 +1,508 @@
+"""The twelve Table-I workloads with calibrated engine parameters.
+
+Calibration targets come straight from the paper: batches and indices per
+frame (Table III), vertex program lengths (Table IV), primitive mix
+(Table V), and fragment program statistics (Table XII).  The scene-shape
+parameters (objects per room, triangles per object, pass structure) were
+tuned against those targets with ``examples/calibrate.py``.
+"""
+
+from __future__ import annotations
+
+from repro.api.commands import GraphicsApi
+from repro.workloads.spec import EngineParams, SimProfile, WorkloadSpec
+
+_GL = GraphicsApi.OPENGL
+_D3D = GraphicsApi.DIRECT3D
+
+
+def _spec(**kwargs) -> WorkloadSpec:
+    return WorkloadSpec(**kwargs)
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    WORKLOADS[spec.name] = spec
+
+
+_register(
+    _spec(
+        name="UT2004/Primeval",
+        game="UT2004",
+        timedemo="Primeval",
+        engine="Unreal 2.5",
+        api=_GL,
+        frames=1992,
+        duration_s=66.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=False,
+        release="March 2004",
+        index_size_bytes=2,
+        seed=2004,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=14,
+            visible_rooms_behind=0,
+            object_tris=365,
+            room_tris=2600,
+            character_tris=900,
+            characters_per_room=3,
+            two_pass_fraction=0.95,
+            extra_passes=4,
+            arches_per_room=6,
+            pillars_per_room=8,
+            foliage_per_room=6,
+            alpha_fraction=0.10,
+            blend_fraction=0.08,
+            vertex_variants=((23, 0.5), (24, 0.5)),
+            fragment_variants=(
+                (5, 2, 0.50, False),
+                (4, 1, 0.40, False),
+                (5, 1, 0.07, False),
+                (7, 2, 0.03, True),
+            ),
+            fan_object_fraction=0.002,
+            texture_count=32,
+            palette="warm",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 40.0, frames=12, cache_scale=0.7, texture_l1_scale=0.33),
+    )
+)
+
+_register(
+    _spec(
+        name="Doom3/trdemo1",
+        game="Doom3",
+        timedemo="trdemo1",
+        engine="Doom3",
+        api=_GL,
+        frames=3464,
+        duration_s=115.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="August 2004",
+        index_size_bytes=4,
+        seed=3001,
+        params=EngineParams(
+            render_path="stencil_shadow",
+            rooms=8,
+            room_size=(26.0, 6.0, 22.0),
+            objects_per_room=130,
+            casters_per_room=52,
+            arches_per_room=4,
+            pillars_per_room=6,
+            lights=6,
+            lit_rooms=2,
+            light_radius_frac=0.23,
+            volume_extrusion_frac=0.45,
+            object_tris=62,
+            room_tris=1550,
+            character_tris=300,
+            characters_per_room=4,
+            vertex_variants=((20, 0.7), (21, 0.3)),
+            fragment_variants=((13, 4, 0.85, False), (12, 4, 0.13, False), (11, 3, 0.02, True)),
+            alpha_fraction=0.005,
+            texture_count=22,
+            palette="dark",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 32.0, frames=12, texture_l1_scale=0.37),
+    )
+)
+
+_register(
+    _spec(
+        name="Doom3/trdemo2",
+        game="Doom3",
+        timedemo="trdemo2",
+        engine="Doom3",
+        api=_GL,
+        frames=3990,
+        duration_s=133.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="August 2004",
+        index_size_bytes=4,
+        seed=3002,
+        params=EngineParams(
+            render_path="stencil_shadow",
+            rooms=8,
+            room_size=(26.0, 6.0, 22.0),
+            objects_per_room=52,
+            casters_per_room=36,
+            arches_per_room=4,
+            pillars_per_room=6,
+            lights=6,
+            lit_rooms=2,
+            light_radius_frac=0.30,
+            volume_extrusion_frac=0.45,
+            object_tris=70,
+            room_tris=1000,
+            character_tris=320,
+            characters_per_room=3,
+            vertex_variants=((19, 0.6), (20, 0.4)),
+            fragment_variants=((13, 4, 0.93, False), (12, 4, 0.05, False), (11, 3, 0.02, True)),
+            alpha_fraction=0.005,
+            texture_count=22,
+            palette="dark",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 32.0, frames=12, texture_l1_scale=0.37),
+    )
+)
+
+_register(
+    _spec(
+        name="Quake4/demo4",
+        game="Quake4",
+        timedemo="demo4",
+        engine="Doom3",
+        api=_GL,
+        frames=2976,
+        duration_s=99.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="October 2005",
+        index_size_bytes=4,
+        seed=4001,
+        params=EngineParams(
+            render_path="stencil_shadow",
+            rooms=8,
+            room_size=(26.0, 6.0, 22.0),
+            objects_per_room=64,
+            casters_per_room=40,
+            arches_per_room=4,
+            pillars_per_room=6,
+            lights=6,
+            lit_rooms=2,
+            light_radius_frac=0.235,
+            volume_extrusion_frac=0.45,
+            object_tris=82,
+            room_tris=1850,
+            character_tris=420,
+            characters_per_room=4,
+            vertex_variants=((28, 0.9), (27, 0.1)),
+            fragment_variants=((17, 4, 0.55, False), (16, 5, 0.35, False), (14, 4, 0.08, False), (13, 3, 0.02, True)),
+            alpha_fraction=0.005,
+            texture_count=24,
+            palette="industrial",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 32.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="Quake4/guru5",
+        game="Quake4",
+        timedemo="guru5",
+        engine="Doom3",
+        api=_GL,
+        frames=3081,
+        duration_s=103.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="October 2005",
+        index_size_bytes=4,
+        seed=4002,
+        params=EngineParams(
+            render_path="stencil_shadow",
+            rooms=8,
+            room_size=(26.0, 6.0, 22.0),
+            objects_per_room=160,
+            casters_per_room=40,
+            arches_per_room=4,
+            pillars_per_room=6,
+            lights=6,
+            lit_rooms=2,
+            light_radius_frac=0.23,
+            volume_extrusion_frac=0.45,
+            object_tris=42,
+            room_tris=900,
+            character_tris=200,
+            characters_per_room=4,
+            vertex_variants=((24, 0.6), (25, 0.4)),
+            fragment_variants=((18, 5, 0.50, False), (17, 4, 0.40, False), (15, 4, 0.08, False), (13, 3, 0.02, True)),
+            alpha_fraction=0.005,
+            texture_count=24,
+            palette="industrial",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 32.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="Riddick/MainFrame",
+        game="Riddick",
+        timedemo="MainFrame",
+        engine="Starbreeze",
+        api=_GL,
+        frames=1629,
+        duration_s=54.0,
+        texture_quality="High/Trilinear",
+        aniso_level=None,
+        uses_shaders=True,
+        release="December 2004",
+        index_size_bytes=2,
+        seed=5001,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=112,
+            object_tris=124,
+            room_tris=1500,
+            character_tris=500,
+            characters_per_room=3,
+            two_pass_fraction=1.0,
+            alpha_fraction=0.03,
+            blend_fraction=0.04,
+            vertex_variants=((17, 0.7), (16, 0.3)),
+            fragment_variants=((15, 2, 0.80, False), (13, 2, 0.15, False), (14, 1, 0.05, False)),
+            texture_count=18,
+            palette="dark",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 14.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="Riddick/PrisonArea",
+        game="Riddick",
+        timedemo="PrisonArea",
+        engine="Starbreeze",
+        api=_GL,
+        frames=2310,
+        duration_s=77.0,
+        texture_quality="High/Trilinear",
+        aniso_level=None,
+        uses_shaders=True,
+        release="December 2004",
+        index_size_bytes=2,
+        seed=5002,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=67,
+            object_tris=208,
+            room_tris=1800,
+            character_tris=700,
+            characters_per_room=3,
+            two_pass_fraction=1.0,
+            alpha_fraction=0.03,
+            blend_fraction=0.04,
+            vertex_variants=((21, 1.0),),
+            fragment_variants=((14, 2, 0.75, False), (13, 2, 0.05, False), (12, 1, 0.20, False)),
+            texture_count=18,
+            palette="dark",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 16.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="FEAR/built-in demo",
+        game="FEAR",
+        timedemo="built-in demo",
+        engine="Monolith",
+        api=_D3D,
+        frames=576,
+        duration_s=19.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="October 2005",
+        index_size_bytes=2,
+        seed=6001,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=106,
+            object_tris=228,
+            room_tris=2200,
+            character_tris=900,
+            characters_per_room=3,
+            two_pass_fraction=0.80,
+            alpha_fraction=0.05,
+            blend_fraction=0.05,
+            vertex_variants=((18, 0.8), (19, 0.2)),
+            fragment_variants=((22, 3, 0.70, False), (20, 2, 0.25, False), (18, 3, 0.05, True)),
+            texture_count=22,
+            palette="industrial",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 18.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="FEAR/interval2",
+        game="FEAR",
+        timedemo="interval2",
+        engine="Monolith",
+        api=_D3D,
+        frames=2102,
+        duration_s=70.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="October 2005",
+        index_size_bytes=2,
+        seed=6002,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=59,
+            object_tris=312,
+            room_tris=2600,
+            character_tris=1000,
+            characters_per_room=3,
+            two_pass_fraction=0.80,
+            alpha_fraction=0.05,
+            blend_fraction=0.05,
+            vertex_variants=((21, 1.0),),
+            fragment_variants=((20, 3, 0.62, False), (18, 2, 0.33, False), (16, 3, 0.05, True)),
+            fan_object_fraction=0.05,
+            transition_points=(0.42, 0.78),
+            transition_calls=4200,
+            texture_count=22,
+            palette="industrial",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 18.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="Half Life 2 LC/built-in",
+        game="Half Life 2 Lost Coast",
+        timedemo="built-in",
+        engine="Valve Source",
+        api=_D3D,
+        frames=1805,
+        duration_s=60.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="October 2005",
+        index_size_bytes=2,
+        seed=7001,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=113,
+            object_tris=232,
+            room_tris=2400,
+            character_tris=1100,
+            characters_per_room=2,
+            two_pass_fraction=0.50,
+            alpha_fraction=0.06,
+            blend_fraction=0.05,
+            vertex_variants=((27, 1.0),),
+            fragment_variants=((20, 4, 0.90, False), (20, 3, 0.08, False), (18, 4, 0.02, True)),
+            texture_count=24,
+            palette="warm",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 18.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="Oblivion/Anvil Castle",
+        game="Oblivion",
+        timedemo="Anvil Castle",
+        engine="Gamebryo",
+        api=_D3D,
+        frames=2620,
+        duration_s=87.0,
+        texture_quality="High/Trilinear",
+        aniso_level=None,
+        uses_shaders=True,
+        release="March 2006",
+        index_size_bytes=2,
+        seed=8001,
+        params=EngineParams(
+            render_path="terrain",
+            rooms=8,
+            objects_per_room=90,
+            object_tris=480,
+            terrain_patches=676,
+            terrain_patch_tris=950,
+            terrain_strip_patches=True,
+            terrain_extent=1000.0,
+            vertex_variants=(((19, 0.9), (18, 0.1)), ((38, 0.7), (37, 0.3))),
+            fragment_variants=((16, 1, 0.60, False), (15, 2, 0.36, False), (14, 1, 0.04, False)),
+            transition_points=(0.5,),
+            transition_calls=6000,
+            texture_count=26,
+            palette="outdoor",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 24.0, frames=12),
+    )
+)
+
+_register(
+    _spec(
+        name="Splinter Cell 3/first level",
+        game="Splinter Cell 3",
+        timedemo="first level",
+        engine="Unreal 2.5++",
+        api=_D3D,
+        frames=2970,
+        duration_s=99.0,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="March 2005",
+        index_size_bytes=2,
+        seed=9001,
+        params=EngineParams(
+            render_path="forward",
+            rooms=8,
+            objects_per_room=158,
+            object_tris=122,
+            room_tris=1400,
+            character_tris=600,
+            characters_per_room=2,
+            two_pass_fraction=0.30,
+            alpha_fraction=0.04,
+            blend_fraction=0.04,
+            vertex_variants=((28, 0.65), (29, 0.35)),
+            fragment_variants=(
+                (4, 2, 0.45, False),
+                (5, 2, 0.27, False),
+                (3, 1, 0.08, False),
+                (6, 3, 0.20, False),
+            ),
+            strip_object_fraction=0.225,
+            fan_object_fraction=0.036,
+            texture_count=20,
+            palette="dark",
+        ),
+        sim=SimProfile(geometry_scale=1.0 / 14.0, frames=12),
+    )
+)
+
+#: The three workloads the paper replays on ATTILA (Tables VII-XVII).
+OPENGL_SIMULATED = ("UT2004/Primeval", "Doom3/trdemo2", "Quake4/demo4")
+
+
+def workload(name: str) -> WorkloadSpec:
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}"
+        )
+    return WORKLOADS[name]
+
+
+def all_workloads() -> list[WorkloadSpec]:
+    return list(WORKLOADS.values())

@@ -1,0 +1,156 @@
+"""Workload descriptions: Table I metadata plus engine calibration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.api.commands import GraphicsApi
+from repro.gpu.texture import TextureFilter
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """Reduced-scale profile for microarchitectural simulation.
+
+    Full timedemos at 1024x768 are out of reach for a Python functional
+    simulator, so the simulated profile runs a reduced resolution with the
+    scene's triangle budget scaled down by ``geometry_scale`` — keeping
+    triangle sizes (in fragments) inside the paper's 400-2000 band so the
+    scale-free metrics (overdraw, kill rates, hit rates, quad efficiency)
+    are preserved.
+    """
+
+    width: int = 256
+    height: int = 192
+    frames: int = 12
+    geometry_scale: float = 1.0 / 14.0
+    # Caches are scaled with the screen so the cache-footprint:framebuffer
+    # ratio (which sets the Table XIV/XV miss behaviour) stays close to the
+    # paper's 16 KB @ 1024x768.
+    cache_scale: float = 0.5
+    # The texture L1 covers the per-frame texel footprint, which shrinks
+    # faster than the screen (mip selection); 0.35 reproduces the paper's
+    # texture bytes/fragment.
+    texture_l1_scale: float = 0.5
+    # Fewer, physically larger objects keep the average triangle size (in
+    # fragments) inside the paper's 400-2000 band at the reduced resolution.
+    object_count_scale: float = 0.5
+    object_size_scale: float = 1.7
+    # Texture coordinates are scaled down so the sampled mip level (and so
+    # the per-frame texel footprint vs the L1) matches the paper's texel
+    # density at 1024x768.
+    uv_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Everything the synthetic engine needs to emit one game's call stream."""
+
+    render_path: str  # "forward" | "stencil_shadow" | "terrain"
+    rooms: int = 8
+    objects_per_room: int = 14
+    casters_per_room: int = 5
+    lights: int = 2  # lights per room (stencil path)
+    lit_rooms: int = 2  # rooms whose lights run interaction passes per frame
+    light_radius_frac: float = 0.45  # light radius / room length
+    volume_extrusion_frac: float = 0.6  # shadow volume length / room length
+    room_tris: int = 768  # triangles in a room shell
+    object_tris: int = 220  # average triangles per prop mesh
+    character_tris: int = 600
+    characters_per_room: int = 2
+    room_size: tuple[float, float, float] = (16.0, 6.0, 22.0)
+    visible_rooms_ahead: int = 1
+    visible_rooms_behind: int = 1
+    # Forward-path pass structure: a fraction of opaque surfaces is drawn
+    # ``1 + extra_passes`` times (lightmap / detail / fog passes with the
+    # depth test at EQUAL — the Unreal-era multipass texturing style).
+    two_pass_fraction: float = 0.0
+    extra_passes: int = 1
+    # Structural set dressing that creates depth complexity along the
+    # camera aisle (and, in the stencil path, large cross-aisle casters).
+    arches_per_room: int = 0
+    pillars_per_room: int = 0
+    foliage_per_room: int = 0  # large alpha-tested curtains (UT2004 foliage)
+    alpha_fraction: float = 0.0  # alpha-tested (KIL) materials
+    blend_fraction: float = 0.0  # translucent additive materials
+    # Shader variant tables.
+    vertex_variants: tuple[tuple[int, float], ...] = ((20, 1.0),)
+    fragment_variants: tuple[tuple[int, int, float, bool], ...] = (
+        (13, 4, 1.0, False),
+    )
+    # Primitive mix: fraction of prop meshes built as strips / fans.
+    strip_object_fraction: float = 0.0
+    fan_object_fraction: float = 0.0
+    prop_size: float = 1.0  # physical scale multiplier for prop meshes
+    uv_scale: float = 1.0  # texture coordinate density multiplier
+    # Terrain path (Oblivion).
+    terrain_patches: int = 0
+    terrain_patch_tris: int = 2048
+    terrain_strip_patches: bool = True
+    terrain_extent: float = 900.0
+    # API call shaping.
+    extra_state_calls_per_material: int = 3
+    startup_calls: int = 12000
+    transition_points: tuple[float, ...] = ()  # demo fractions with reloads
+    transition_calls: int = 4000
+    # Resources.
+    texture_count: int = 18
+    texture_size: int = 128
+    palette: str = "dark"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table-I row plus the calibrated engine parameters."""
+
+    name: str  # e.g. "Doom3/trdemo2"
+    game: str
+    timedemo: str
+    engine: str  # middleware name as printed in Table I
+    api: GraphicsApi
+    frames: int  # full timedemo length (Table I)
+    duration_s: float  # at 30 fps (Table I)
+    texture_quality: str
+    aniso_level: int | None  # None = trilinear-only game
+    uses_shaders: bool
+    release: str
+    index_size_bytes: int
+    seed: int
+    params: EngineParams
+    sim: SimProfile = SimProfile()
+    api_stat_frames: int = 400  # default frames for API-statistics runs
+
+    @property
+    def texture_filter(self) -> TextureFilter:
+        if self.aniso_level is None:
+            return TextureFilter.TRILINEAR
+        return TextureFilter.ANISOTROPIC
+
+    @property
+    def slug(self) -> str:
+        """Filesystem/identifier-safe name."""
+        return self.name.replace("/", "_").replace(" ", "_").lower()
+
+    def scaled_for_sim(self) -> "WorkloadSpec":
+        """The reduced-scale variant used for microarchitectural runs."""
+        scale = self.sim.geometry_scale
+        count_scale = self.sim.object_count_scale
+        params = replace(
+            self.params,
+            room_tris=max(24, int(self.params.room_tris * scale)),
+            object_tris=max(12, int(self.params.object_tris * scale)),
+            character_tris=max(24, int(self.params.character_tris * scale)),
+            terrain_patch_tris=max(32, int(self.params.terrain_patch_tris * scale)),
+            objects_per_room=max(4, int(self.params.objects_per_room * count_scale)),
+            casters_per_room=max(
+                2, int(self.params.casters_per_room * count_scale)
+            ),
+            characters_per_room=max(
+                1, int(self.params.characters_per_room * count_scale)
+            ),
+            prop_size=self.params.prop_size * self.sim.object_size_scale,
+            uv_scale=self.params.uv_scale * self.sim.uv_scale,
+            startup_calls=200,
+            transition_calls=200,
+        )
+        return replace(self, params=params)

@@ -1,0 +1,58 @@
+"""Additional camera-path tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.camera import CameraShot, CorridorPath, TerrainPath
+
+
+class TestCorridorPath:
+    def test_loops_wrap(self):
+        path = CorridorPath(rooms=4, room_length=10, frames=40, loops=2)
+        # With two loops, frame 20 is back at the start room.
+        assert path.room_at(0) == path.room_at(20)
+
+    def test_view_projection_composes(self):
+        path = CorridorPath(rooms=4, room_length=10, frames=40)
+        shot = path.shot(7)
+        assert np.allclose(
+            shot.view_projection, shot.projection @ shot.view
+        )
+
+    def test_forward_progress_monotone_within_loop(self):
+        path = CorridorPath(rooms=6, room_length=12, frames=60)
+        zs = [path.shot(f).position[2] for f in range(0, 59, 7)]
+        assert all(b <= a for a, b in zip(zs, zs[1:]))
+
+    def test_eye_height_respected(self):
+        path = CorridorPath(rooms=4, room_length=10, frames=20, eye_height=2.5)
+        heights = [path.shot(f).position[1] for f in range(20)]
+        assert all(abs(h - 2.5) < 0.2 for h in heights)
+
+    def test_single_frame_path(self):
+        path = CorridorPath(rooms=4, room_length=10, frames=1)
+        shot = path.shot(0)
+        assert isinstance(shot, CameraShot)
+
+
+class TestTerrainPath:
+    def test_castle_orbit_stays_near_center(self):
+        path = TerrainPath(extent=800, frames=100)
+        for f in range(0, 49, 7):
+            pos = path.shot(f).position
+            assert np.hypot(pos[0], pos[2]) < 800 * 0.2
+
+    def test_countryside_ranges_wider(self):
+        path = TerrainPath(extent=800, frames=100)
+        max_castle = max(
+            float(np.hypot(*path.shot(f).position[[0, 2]])) for f in range(0, 50, 5)
+        )
+        max_country = max(
+            float(np.hypot(*path.shot(f).position[[0, 2]])) for f in range(50, 100, 5)
+        )
+        assert max_country > max_castle
+
+    def test_height_positive(self):
+        path = TerrainPath(extent=800, frames=50, height=10.0)
+        for f in range(0, 50, 10):
+            assert path.shot(f).position[1] > 0

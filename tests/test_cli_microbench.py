@@ -1,0 +1,114 @@
+"""Tests for the CLI and the GPUBench-style microbenchmarks."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.gpu.config import GpuConfig
+from repro.microbench import (
+    ALL_MICROBENCHES,
+    fill_rate,
+    geometry_rate,
+    run_all,
+    texture_rate,
+    zstencil_rate,
+)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Doom3/trdemo2" in out
+        assert "Oblivion/Anvil Castle" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "UT2004/Primeval", "--frames", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "indices/batch" in out
+        assert "ALU:TEX" in out
+
+    def test_simulate_with_ppm(self, tmp_path, capsys):
+        ppm = tmp_path / "frame.ppm"
+        assert (
+            main(["simulate", "UT2004/Primeval", "--frames", "1",
+                  "--ppm", str(ppm)])
+            == 0
+        )
+        assert ppm.exists()
+        out = capsys.readouterr().out
+        assert "overdraw (raster)" in out
+
+    def test_trace_replay_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert (
+            main(["trace", "Quake4/demo4", str(trace_path), "--frames", "1",
+                  "--sim-profile"])
+            == 0
+        )
+        assert trace_path.exists()
+        assert main(["replay", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 frames" in out
+
+    def test_tables_subset(self, tmp_path, capsys):
+        assert (
+            main(["tables", "--out-dir", str(tmp_path), "--only", "table2",
+                  "table6"])
+            == 0
+        )
+        assert (tmp_path / "table2.txt").exists()
+        assert (tmp_path / "table6.txt").exists()
+
+    def test_tables_unknown_name(self, tmp_path):
+        assert (
+            main(["tables", "--out-dir", str(tmp_path), "--only", "table99"])
+            == 2
+        )
+
+    def test_figures_subset(self, tmp_path):
+        assert (
+            main(["figures", "--out-dir", str(tmp_path), "--only", "figure4"])
+            == 0
+        )
+        assert (tmp_path / "figure4.txt").exists()
+        assert (tmp_path / "figure4.csv").exists()
+
+
+class TestMicrobench:
+    def test_registry(self):
+        assert set(ALL_MICROBENCHES) == {
+            "fill_rate", "texture_rate", "geometry_rate", "zstencil_rate",
+        }
+
+    def test_fill_rate_counts_layers(self):
+        config = GpuConfig(width=128, height=96)
+        result = fill_rate(config, layers=5)
+        assert result.events == 128 * 96 * 5
+        assert result.cycles_per_frame > 0
+
+    def test_texture_rate_saturates_sampler(self):
+        config = GpuConfig(width=128, height=96)
+        result = texture_rate(config, layers=2, textures=4)
+        # Bilinear-filtered full-screen multitexture: the texture unit is
+        # the bottleneck and runs at its Table II rate.
+        assert result.bottleneck == "texture"
+        assert result.events_per_cycle == pytest.approx(
+            config.bilinears_per_cycle, rel=0.01
+        )
+
+    def test_geometry_rate_counts_triangles(self):
+        config = GpuConfig(width=128, height=96)
+        result = geometry_rate(config, cells=32)
+        assert result.events == 32 * 32 * 2
+
+    def test_zstencil_rate_rejects_layers(self):
+        config = GpuConfig(width=128, height=96)
+        result = zstencil_rate(config, layers=6)
+        assert result.events >= 128 * 96  # at least the near layer
+
+    def test_run_all(self):
+        results = run_all(GpuConfig(width=64, height=64))
+        assert len(results) == 4
+        assert all(r.cycles_per_frame > 0 for r in results)

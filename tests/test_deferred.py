@@ -1,0 +1,70 @@
+"""Tests for the deferred-rendering (TBDR) analysis."""
+
+import pytest
+
+from repro.api.commands import Clear, Draw, SetState
+from repro.gpu import deferred
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def ut():
+    return build_workload("UT2004/Primeval", sim=True)
+
+
+class TestFrameRewrite:
+    def test_prepass_inserted(self, ut):
+        frame = next(iter(ut.trace(frames=1).frames()))
+        rewritten = deferred.defer_frame(frame)
+        draws_before = sum(1 for c in frame.calls if isinstance(c, Draw))
+        draws_after = sum(1 for c in rewritten.calls if isinstance(c, Draw))
+        # Every opaque draw appears twice (prepass + shading pass).
+        assert draws_after > draws_before
+
+    def test_single_clear_kept(self, ut):
+        frame = next(iter(ut.trace(frames=1).frames()))
+        rewritten = deferred.defer_frame(frame)
+        clears = [c for c in rewritten.calls if isinstance(c, Clear)]
+        assert len(clears) == 1
+
+    def test_opaque_draws_run_at_equal(self, ut):
+        frame = next(iter(ut.trace(frames=1).frames()))
+        rewritten = deferred.defer_frame(frame)
+        # After the prepass section, opaque draws are bracketed with EQUAL.
+        saw_equal_draw = False
+        func = "less"
+        color_mask = True
+        for call in rewritten.calls:
+            if isinstance(call, SetState):
+                if call.name == "depth_func":
+                    func = call.value
+                if call.name == "color_mask":
+                    color_mask = call.value
+            if isinstance(call, Draw) and color_mask and func == "equal":
+                saw_equal_draw = True
+        assert saw_equal_draw
+
+    def test_frame_without_opaque_draws_untouched(self):
+        frame_obj = deferred.defer_frame(
+            deferred.Frame(0, [Clear(), SetState("blend", "add")])
+        )
+        assert len(frame_obj.calls) == 2
+
+
+class TestAnalysis:
+    def test_deferred_never_shades_more(self, ut):
+        comparison = deferred.analyze(ut, frames=1)
+        assert comparison.deferred_shaded <= comparison.immediate_shaded
+        assert 0.0 <= comparison.shading_saved <= 1.0
+
+    def test_stencil_engine_rejected(self):
+        doom3 = build_workload("Doom3/trdemo2", sim=True)
+        with pytest.raises(ValueError):
+            deferred.analyze(doom3, frames=1)
+
+    def test_savings_positive_for_multipass_engine(self, ut):
+        # Frame 0 sits at the corridor start with little occlusion, so use
+        # two frames; UT2004 draws each surface several times and deferring
+        # must pay off.
+        comparison = deferred.analyze(ut, frames=2)
+        assert comparison.shading_saved > 0.2

@@ -1,0 +1,169 @@
+"""Tests for engine internals: material tables, pass emission, uploads."""
+
+import numpy as np
+import pytest
+
+from repro.api.commands import (
+    BindProgram,
+    BindTexture,
+    Clear,
+    Draw,
+    SetState,
+    SetUniform,
+    UploadResource,
+)
+from repro.workloads import build_workload, workload
+from repro.workloads.engines import GameEngine, Material
+
+
+@pytest.fixture(scope="module")
+def doom3_engine():
+    return build_workload("Doom3/trdemo2", sim=True).engine
+
+
+@pytest.fixture(scope="module")
+def ut_engine():
+    return build_workload("UT2004/Primeval", sim=True).engine
+
+
+class TestMaterialTable:
+    def test_forty_slots(self, doom3_engine):
+        assert len(doom3_engine.materials) == 40
+
+    def test_weights_respected(self, doom3_engine):
+        """Largest-remainder allocation reproduces the variant weights."""
+        variants = doom3_engine.params.fragment_variants
+        counts = {}
+        for mat in doom3_engine.materials:
+            counts[mat.fragment_program] = counts.get(mat.fragment_program, 0) + 1
+        for i, (_, _, weight, _) in enumerate(variants):
+            name = f"{doom3_engine.prefix}.f{i}"
+            assert counts.get(name, 0) == pytest.approx(weight * 40, abs=1.0)
+
+    def test_alpha_materials_have_kill_programs(self, ut_engine):
+        for mat in ut_engine.materials:
+            if mat.alpha_test:
+                program = ut_engine.programs[mat.fragment_program]
+                assert program.uses_kill
+
+    def test_textures_match_program_units(self, doom3_engine):
+        for mat in doom3_engine.materials:
+            program = doom3_engine.programs[mat.fragment_program]
+            assert len(mat.textures) == program.texture_instruction_count
+
+    def test_sort_key_orders_transparency_last(self):
+        opaque = Material(0, "f", "v", ("t",))
+        alpha = Material(1, "f", "v", ("t",), alpha_test=True)
+        blend = Material(2, "f", "v", ("t",), blend_add=True)
+        assert opaque.sort_key < alpha.sort_key < blend.sort_key
+
+    def test_allocate_largest_remainder(self, doom3_engine):
+        assert doom3_engine._allocate([0.5, 0.5], 5) in ([3, 2], [2, 3])
+        assert doom3_engine._allocate([1.0], 7) == [7]
+        assert sum(doom3_engine._allocate([0.33, 0.33, 0.34], 40)) == 40
+
+
+class TestFrameEmission:
+    def frame(self, engine, index, total=8):
+        path = engine._build_path(total, 4 / 3)
+        return engine.frame_calls(index, total, path)
+
+    def test_mvp_set_before_every_draw(self, doom3_engine):
+        calls = self.frame(doom3_engine, 2)
+        last_mvp = None
+        for call in calls:
+            if isinstance(call, SetUniform) and call.name == "mvp":
+                last_mvp = call.value
+            if isinstance(call, Draw):
+                assert last_mvp is not None
+
+    def test_stencil_clear_after_each_light(self, doom3_engine):
+        calls = self.frame(doom3_engine, 2)
+        stencil_clears = [
+            c
+            for c in calls
+            if isinstance(c, Clear) and c.stencil and not c.depth and not c.color
+        ]
+        lights = doom3_engine.params.lights * doom3_engine.params.lit_rooms
+        assert len(stencil_clears) == lights
+
+    def test_volume_draws_reference_volume_meshes(self, doom3_engine):
+        calls = self.frame(doom3_engine, 2)
+        stencil, func = False, "always"
+        for call in calls:
+            if isinstance(call, SetState):
+                if call.name == "stencil_test":
+                    stencil = call.value
+                elif call.name == "stencil_func":
+                    func = call.value
+            if isinstance(call, Draw) and stencil and func == "always":
+                assert ".vol." in call.mesh
+
+    def test_forward_frame_has_no_stencil(self, ut_engine):
+        calls = self.frame(ut_engine, 2)
+        for call in calls:
+            if isinstance(call, SetState) and call.name == "stencil_test":
+                assert call.value is False
+
+    def test_forward_extra_passes_use_equal_depth(self, ut_engine):
+        calls = self.frame(ut_engine, 2)
+        saw_equal = any(
+            isinstance(c, SetState)
+            and c.name == "depth_func"
+            and c.value == "equal"
+            for c in calls
+        )
+        assert saw_equal  # UT2004 is a multipass engine
+
+    def test_upload_burst_only_on_first_frame(self, doom3_engine):
+        first = self.frame(doom3_engine, 0)
+        later = self.frame(doom3_engine, 3)
+        assert any(isinstance(c, UploadResource) for c in first)
+        assert not any(isinstance(c, UploadResource) for c in later)
+
+    def test_transition_frames_reupload(self):
+        engine = build_workload("FEAR/interval2").engine
+        total = 100
+        path = engine._build_path(total, 4 / 3)
+        point = engine.params.transition_points[0]
+        frame_idx = int(point * total)
+        calls = engine.frame_calls(frame_idx, total, path)
+        uploads = [c for c in calls if isinstance(c, UploadResource)]
+        assert len(uploads) >= engine.params.transition_calls
+
+    def test_material_binds_are_deduplicated(self, ut_engine):
+        calls = self.frame(ut_engine, 2)
+        # Consecutive draws with the same material must not re-bind.
+        binds = 0
+        draws = 0
+        for call in calls:
+            if isinstance(call, BindProgram) and call.stage == "fragment":
+                binds += 1
+            if isinstance(call, Draw):
+                draws += 1
+        assert binds < draws  # sorting by material amortizes binds
+
+
+class TestVisibility:
+    def test_room_window(self, doom3_engine):
+        path = doom3_engine._build_path(16, 4 / 3)
+        shot = path.shot(8)
+        visible = doom3_engine._visible_objects(8, path, shot)
+        rooms = {o.room for o in visible}
+        current = path.room_at(8)
+        assert current in rooms
+        assert max(rooms) - min(rooms) <= (
+            doom3_engine.params.visible_rooms_ahead
+            + doom3_engine.params.visible_rooms_behind
+        )
+
+    def test_terrain_visibility_distance_bound(self):
+        engine = build_workload("Oblivion/Anvil Castle", sim=True).engine
+        path = engine._build_path(10, 4 / 3)
+        shot = path.shot(1)
+        visible = engine._visible_objects(1, path, shot)
+        assert visible
+        limit = engine.params.terrain_extent * 0.42
+        for obj in visible:
+            distance = np.linalg.norm(obj.center - shot.position)
+            assert distance - obj.radius <= limit + 1e-6

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script must run end-to-end."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    env = dict(os.environ)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch):
+        out = run_example("quickstart.py")
+        assert "vertex cache hit rate" in out
+        assert "bottleneck stage" in out
+        assert (EXAMPLES.parent / "quickstart.ppm").exists()
+
+    def test_characterize_game_ogl(self):
+        out = run_example(
+            "characterize_game.py", "Quake4/demo4",
+            "--api-frames", "6", "--sim-frames", "1",
+        )
+        assert "API-level characterization" in out
+        assert "Microarchitectural characterization" in out
+
+    def test_characterize_game_d3d_stops_at_api(self):
+        out = run_example(
+            "characterize_game.py", "FEAR/interval2", "--api-frames", "4"
+        )
+        assert "Direct3D-only" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "NebulaStrike" not in out  # name only used internally
+        assert "leading BW consumer" in out
+
+    def test_shadow_demo(self, tmp_path):
+        out = run_example(
+            "shadow_demo.py", "--frames", "1", "--out-dir", str(tmp_path)
+        )
+        assert "wrote 1 frames" in out
+        assert list(tmp_path.glob("*.ppm"))
+
+    def test_calibrate_subset(self):
+        out = run_example(
+            "calibrate.py", "Riddick/MainFrame", "--frames", "6"
+        )
+        assert "measured/target" in out
+
+    def test_microbench_report(self):
+        out = run_example("microbench_report.py")
+        assert "texture_rate" in out and "fill_rate" in out
+
+    def test_profile_draws(self):
+        out = run_example("profile_draws.py", "UT2004/Primeval")
+        assert "Top 10 draws" in out
+        assert "frame totals" in out

@@ -1,0 +1,149 @@
+"""Tests for the experiment harness (runner, tables, figures, report)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Runner, paper, tables, figures
+from repro.experiments.report import Comparison
+
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    """A very small-budget runner: enough to exercise every code path."""
+    return Runner(ExperimentConfig(api_frames=6, sim_frames=1, geometry_frames=4))
+
+
+class TestReport:
+    def test_comparison_renders_pairs(self):
+        comparison = Comparison(
+            "Table T", "demo", ["name", "value"], [["x", (1.23, 1.5)]]
+        )
+        text = comparison.as_text()
+        assert "1.23 (1.50)" in text
+        assert "Table T" in text
+
+    def test_measured_accessor(self):
+        comparison = Comparison("T", "d", ["a"], [[(3.0, 4.0)], ["plain"]])
+        assert comparison.measured(0, 0) == 3.0
+        assert comparison.measured(1, 0) == "plain"
+
+    def test_notes_rendered(self):
+        comparison = Comparison("T", "d", ["a"], [[1]], notes=["careful"])
+        assert "note: careful" in comparison.as_text()
+
+
+class TestRunnerCaching:
+    def test_api_cached(self, tiny_runner):
+        a = tiny_runner.api("UT2004/Primeval")
+        b = tiny_runner.api("UT2004/Primeval")
+        assert a is b
+
+    def test_clear_resets(self):
+        runner = Runner(ExperimentConfig(api_frames=2, sim_frames=1, geometry_frames=1))
+        a = runner.api("UT2004/Primeval")
+        runner.clear()
+        assert runner.api("UT2004/Primeval") is not a
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_API_FRAMES", "7")
+        assert ExperimentConfig().api_frames == 7
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        comparison = tables.table1()
+        assert len(comparison.rows) == 12
+        assert comparison.rows[0][0] == "UT2004/Primeval"
+
+    def test_table2_configuration(self):
+        comparison = tables.table2()
+        assert len(comparison.rows) == 5
+
+    def test_table6_bus_model_matches_paper(self):
+        comparison = tables.table6()
+        for row in comparison.rows:
+            measured, published = row[3]
+            assert measured == pytest.approx(published, rel=0.01)
+
+
+class TestMeasuredTables:
+    def test_table3_structure(self, tiny_runner):
+        comparison = tables.table3(tiny_runner)
+        assert len(comparison.rows) == 12
+        for row in comparison.rows:
+            assert row[1][0] > 0  # measured idx/batch
+
+    def test_table9_partitions(self, tiny_runner):
+        comparison = tables.table9(tiny_runner)
+        for row in comparison.rows:
+            total = sum(cell[0] for cell in row[1:6])
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_table14_has_sim_sizes(self, tiny_runner):
+        comparison = tables.table14(tiny_runner)
+        assert any("KB" in str(row[3]) for row in comparison.rows)
+
+    def test_all_tables_registry(self):
+        assert len(tables.ALL_TABLES) == 17
+
+
+class TestFigures:
+    def test_figure4_static(self):
+        fig = figures.figure4()
+        assert fig.series["TL"][0] == 3.0
+        assert "Figure 4" in fig.as_text()
+
+    def test_figure_csv_export(self):
+        fig = figures.figure4()
+        csv = fig.as_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("frame,")
+        assert len(lines) == len(fig.series["TL"]) + 1
+
+    def test_figure1_series(self, tiny_runner):
+        fig = figures.figure1(tiny_runner, api="ogl")
+        assert set(fig.series) == {
+            "UT2004/Primeval",
+            "Doom3/trdemo2",
+            "Quake4/demo4",
+            "Riddick/PrisonArea",
+        }
+        for series in fig.series.values():
+            assert len(series) == 6
+
+    def test_figure5_uses_geometry_run(self, tiny_runner):
+        fig = figures.figure5(tiny_runner)
+        for name, series in fig.series.items():
+            assert len(series) == 4
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_all_figures_registry(self):
+        assert len(figures.ALL_FIGURES) == 8
+
+
+class TestPaperData:
+    def test_workload_order_complete(self):
+        assert len(paper.WORKLOAD_ORDER) == 12
+        for name in paper.WORKLOAD_ORDER:
+            assert name in paper.TABLE3
+            assert name in paper.TABLE4
+            assert name in paper.TABLE5
+            assert name in paper.TABLE12
+
+    def test_simulated_tables_cover_three_games(self):
+        for table in (paper.TABLE7, paper.TABLE8, paper.TABLE9, paper.TABLE10,
+                      paper.TABLE11, paper.TABLE13, paper.TABLE15,
+                      paper.TABLE16, paper.TABLE17):
+            assert set(table) == set(paper.SIMULATED)
+
+    def test_table9_rows_sum_to_100(self):
+        for name, row in paper.TABLE9.items():
+            assert sum(row) == pytest.approx(100.0, abs=0.1)
+
+    def test_table16_rows_sum_to_100(self):
+        for name, row in paper.TABLE16.items():
+            assert sum(row) == pytest.approx(100.0, abs=0.5)
+
+    def test_table12_ratio_consistency(self):
+        # ALU:TEX = (total - tex) / tex, as printed in the paper.
+        for name, (total, tex, ratio) in paper.TABLE12.items():
+            assert (total - tex) / tex == pytest.approx(ratio, abs=0.03)

@@ -1,0 +1,67 @@
+"""Additional figure-level tests with a small-budget runner."""
+
+import statistics
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Runner, figures
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(ExperimentConfig(api_frames=8, sim_frames=2, geometry_frames=6))
+
+
+class TestApiFigures:
+    def test_figure2_units_are_megabytes(self, runner):
+        fig = figures.figure2(runner)
+        for name, series in fig.series.items():
+            assert all(0.0 <= v < 16.0 for v in series), name
+
+    def test_figure3_startup_spike(self, runner):
+        fig = figures.figure3(runner)
+        for name, series in fig.series.items():
+            assert series[0] > series[2], name  # frame 0 includes uploads
+        assert fig.logy
+
+    def test_figure8_series_pairs(self, runner):
+        fig = figures.figure8(runner)
+        assert "Quake4/demo4 instr" in fig.series
+        assert "FEAR/interval2 tex" in fig.series
+        q4_instr = statistics.fmean(fig.series["Quake4/demo4 instr"][1:])
+        q4_tex = statistics.fmean(fig.series["Quake4/demo4 tex"][1:])
+        assert q4_instr > q4_tex > 0
+
+
+class TestSimFigures:
+    def test_figure6_funnel_monotone(self, runner):
+        fig = figures.figure6(runner)
+        for i in range(len(fig.series["indices"])):
+            assert (
+                fig.series["indices"][i]
+                >= fig.series["assembled"][i]
+                >= fig.series["traversed"][i]
+            )
+
+    def test_figure6_other_workload(self, runner):
+        fig = figures.figure6(runner, workload="Quake4/demo4")
+        assert "Quake4/demo4" in fig.title
+
+    def test_figure7_stage_ordering(self, runner):
+        fig = figures.figure7(runner)
+        for i in range(len(fig.series["raster"])):
+            assert fig.series["raster"][i] >= fig.series["zst"][i] >= 0
+
+    def test_ascii_render_has_chart(self, runner):
+        fig = figures.figure7(runner)
+        text = fig.as_text(width=40, height=6)
+        assert "o=raster" in text
+
+
+class TestCsvExport:
+    def test_ragged_series_padded(self):
+        fig = figures.Figure("F", "t", {"a": [1.0, 2.0], "b": [3.0]})
+        csv = fig.as_csv()
+        lines = csv.splitlines()
+        assert lines[1] == "0,1,3"
+        assert lines[2] == "1,2,"

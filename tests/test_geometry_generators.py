@@ -1,0 +1,145 @@
+"""Tests for procedural mesh generators and shadow-volume extrusion."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import (
+    box_mesh,
+    character_mesh,
+    cylinder_mesh,
+    extrude_shadow_volume,
+    grid_mesh,
+    room_mesh,
+    terrain_mesh,
+    value_noise_height,
+)
+from repro.geometry.primitives import PrimitiveType
+
+
+def signed_volume(mesh) -> float:
+    t = mesh.triangles()
+    a = mesh.positions[t[:, 0]]
+    b = mesh.positions[t[:, 1]]
+    c = mesh.positions[t[:, 2]]
+    return float(np.sum(np.einsum("ij,ij->i", a, np.cross(b, c))) / 6.0)
+
+
+def edge_balance(mesh) -> bool:
+    """True when every edge is shared by exactly two opposed triangles.
+
+    Vertices are welded by position first — several generators (box faces)
+    emit per-face vertices, which is still geometrically watertight.
+    """
+    keys = np.round(mesh.positions * 4096.0).astype(np.int64)
+    _, weld = np.unique(keys, axis=0, return_inverse=True)
+    counts = {}
+    for tri in weld[mesh.triangles()]:
+        a, b, c = (int(v) for v in tri)
+        if a == b or b == c or a == c:
+            continue
+        for u, v in ((a, b), (b, c), (c, a)):
+            key = (min(u, v), max(u, v))
+            counts[key] = counts.get(key, 0) + (1 if u < v else -1)
+    return all(v == 0 for v in counts.values())
+
+
+class TestGrid:
+    def test_counts(self):
+        mesh = grid_mesh("g", 4, 3, 8, 6)
+        assert mesh.vertex_count == 5 * 4
+        assert mesh.triangle_count == 4 * 3 * 2
+
+    def test_normals_up(self):
+        mesh = grid_mesh("g", 4, 4, 8, 8)
+        tris = mesh.triangles()
+        n = np.cross(
+            mesh.positions[tris[:, 1]] - mesh.positions[tris[:, 0]],
+            mesh.positions[tris[:, 2]] - mesh.positions[tris[:, 0]],
+        )
+        assert (n[:, 1] > 0).all()
+
+    def test_strip_variant_counts_degenerates(self):
+        mesh = grid_mesh("g", 4, 3, 8, 6, primitive=PrimitiveType.TRIANGLE_STRIP)
+        # Real triangles plus the degenerate stitches between rows.
+        assert mesh.triangle_count >= 4 * 3 * 2
+
+    def test_height_function_applied(self):
+        mesh = grid_mesh("g", 4, 4, 8, 8, height_fn=lambda x, z: x * 0.0 + 2.0)
+        assert np.allclose(mesh.positions[:, 1], 2.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            grid_mesh("g", 0, 3, 1, 1)
+
+
+class TestSolids:
+    def test_box_closed_and_outward(self):
+        mesh = box_mesh("b", (2, 2, 2), subdivisions=2)
+        assert signed_volume(mesh) == pytest.approx(8.0)
+        assert edge_balance(mesh)
+
+    def test_room_inward(self):
+        mesh = room_mesh("r", (2, 2, 2), subdivisions=1)
+        assert signed_volume(mesh) == pytest.approx(-8.0)
+
+    def test_cylinder_closed(self):
+        mesh = cylinder_mesh("c", 1.0, 2.0, segments=16, rings=3)
+        # Closed solid with positive volume close to pi*r^2*h.
+        assert signed_volume(mesh) == pytest.approx(np.pi * 2.0, rel=0.1)
+        assert edge_balance(mesh)
+
+    def test_character_closed(self):
+        mesh = character_mesh("ch", seed=7)
+        assert signed_volume(mesh) > 0
+        assert edge_balance(mesh)
+
+    def test_character_deterministic(self):
+        a = character_mesh("a", seed=5)
+        b = character_mesh("b", seed=5)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_terrain_within_amplitude(self):
+        mesh = terrain_mesh("t", seed=1, size=100.0, cells=16)
+        assert mesh.positions[:, 1].max() <= 100.0 * 0.08 + 1e-9
+        assert mesh.positions[:, 1].min() >= 0.0
+
+    def test_value_noise_deterministic_and_bounded(self):
+        h = value_noise_height(3, amplitude=2.0, feature_size=10.0)
+        xs = np.linspace(0, 50, 100)
+        ys = h(xs, xs)
+        assert (ys >= 0).all() and (ys <= 2.0).all()
+        assert np.allclose(ys, value_noise_height(3, 2.0, 10.0)(xs, xs))
+
+
+class TestShadowVolume:
+    def test_volume_closed(self):
+        caster = cylinder_mesh("c", 0.5, 1.5, segments=10, rings=2)
+        volume = extrude_shadow_volume(caster, (0.4, -1.0, 0.2), extrusion=10.0)
+        assert volume.triangle_count > caster.triangle_count
+        # z-fail correctness requires a closed volume.
+        assert edge_balance(volume)
+
+    def test_volume_extends_along_light(self):
+        caster = character_mesh("ch", seed=2)
+        direction = np.array([1.0, 0.0, 0.0])
+        volume = extrude_shadow_volume(caster, direction, extrusion=25.0)
+        span = volume.positions[:, 0].max() - caster.positions[:, 0].max()
+        assert span == pytest.approx(25.0, abs=1.0)
+
+    def test_vertices_welded(self):
+        caster = cylinder_mesh("c", 0.5, 1.5, segments=8, rings=2)
+        volume = extrude_shadow_volume(caster, (0, -1, 0), extrusion=5.0)
+        keys = {tuple(np.round(p, 4)) for p in volume.positions}
+        assert len(keys) == volume.vertex_count  # no duplicate positions
+
+    def test_zero_direction_rejected(self):
+        caster = cylinder_mesh("c", 0.5, 1.5)
+        with pytest.raises(ValueError):
+            extrude_shadow_volume(caster, (0, 0, 0))
+
+    def test_empty_mesh_rejected(self):
+        from repro.geometry.mesh import Mesh
+
+        empty = Mesh("e", np.zeros((3, 3)) + np.arange(3)[:, None], [])
+        with pytest.raises(ValueError):
+            extrude_shadow_volume(empty, (0, -1, 0))

@@ -1,0 +1,101 @@
+"""Tests for the Mesh container and vertex layouts."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import Mesh, VertexLayout
+from repro.geometry.primitives import PrimitiveType
+
+
+def triangle_mesh(**kwargs):
+    return Mesh(
+        "t",
+        positions=np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0]]),
+        indices=[0, 1, 2],
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_indices_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Mesh("bad", np.zeros((2, 3)), [0, 1, 2])
+
+    def test_bad_index_size(self):
+        with pytest.raises(ValueError):
+            triangle_mesh(index_size_bytes=3)
+
+    def test_attribute_count_mismatch(self):
+        with pytest.raises(ValueError, match="uvs"):
+            Mesh(
+                "bad",
+                np.zeros((3, 3)),
+                [0, 1, 2],
+                uvs=np.zeros((2, 2)),
+            )
+
+
+class TestDerived:
+    def test_counts(self):
+        mesh = triangle_mesh()
+        assert mesh.vertex_count == 3
+        assert mesh.index_count == 3
+        assert mesh.triangle_count == 1
+
+    def test_strip_triangle_count(self):
+        mesh = Mesh(
+            "s",
+            np.zeros((5, 3)) + np.arange(5)[:, None],
+            list(range(5)),
+            primitive=PrimitiveType.TRIANGLE_STRIP,
+        )
+        assert mesh.triangle_count == 3
+
+    def test_default_normals_point_up_for_flat(self):
+        mesh = Mesh(
+            "flat",
+            np.array([[0.0, 0, 0], [0, 0, 1], [1, 0, 0]]),
+            [0, 1, 2],
+        )
+        assert np.allclose(mesh.normals[:, 1], 1.0)
+
+    def test_normals_unit_length(self):
+        mesh = triangle_mesh()
+        lengths = np.linalg.norm(mesh.normals, axis=1)
+        assert np.allclose(lengths, 1.0)
+
+    def test_default_uvs_generated(self):
+        mesh = triangle_mesh()
+        assert mesh.uvs.shape == (3, 2)
+
+    def test_bounds_and_sphere(self):
+        mesh = triangle_mesh()
+        lo, hi = mesh.bounds()
+        assert np.allclose(lo, [0, 0, 0]) and np.allclose(hi, [1, 1, 0])
+        center, radius = mesh.bounding_sphere()
+        assert np.allclose(center, [0.5, 0.5, 0.0])
+        assert radius == pytest.approx(np.sqrt(0.5))
+
+    def test_empty_mesh_bounds(self):
+        mesh = Mesh("e", np.zeros((0, 3)), [])
+        lo, hi = mesh.bounds()
+        assert np.allclose(lo, 0) and np.allclose(hi, 0)
+
+
+class TestLayout:
+    def test_minimal_stride(self):
+        layout = VertexLayout(has_normal=False, has_uv=False)
+        assert layout.stride_bytes == 12
+
+    def test_full_stride(self):
+        layout = VertexLayout(
+            has_normal=True, has_uv=True, has_color=True,
+            has_tangent=True, has_uv1=True,
+        )
+        assert layout.stride_bytes == 12 + 12 + 8 + 4 + 12 + 8
+
+    def test_mesh_vertex_size_reflects_attributes(self):
+        plain = triangle_mesh()
+        assert plain.vertex_size_bytes == 32  # pos + normal + uv
+        fat = triangle_mesh(extra_attributes=2)
+        assert fat.vertex_size_bytes == 32 + 12 + 8

@@ -1,0 +1,77 @@
+"""Tests for vertex cache simulation and index reordering."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.generators import character_mesh, grid_mesh
+from repro.geometry.optimize import optimize_for_vertex_cache, simulate_vertex_cache
+
+
+class TestCacheSim:
+    def test_empty(self):
+        assert simulate_vertex_cache(np.array([])) == 0.0
+
+    def test_all_unique_misses(self):
+        assert simulate_vertex_cache(np.arange(100), cache_size=16) == 0.0
+
+    def test_immediate_reuse_hits(self):
+        indices = np.array([0, 1, 2, 0, 1, 2])
+        assert simulate_vertex_cache(indices, cache_size=16) == 0.5
+
+    def test_fifo_evicts_oldest(self):
+        # Reference 0..4, then 0 again with cache of 4: 0 was evicted.
+        indices = np.array([0, 1, 2, 3, 4, 0])
+        assert simulate_vertex_cache(indices, cache_size=4) == 0.0
+
+    def test_lru_keeps_hot_entry(self):
+        # With LRU, re-touching 0 keeps it resident.
+        indices = np.array([0, 1, 0, 2, 0, 3, 0, 4, 0])
+        lru = simulate_vertex_cache(indices, cache_size=4, policy="lru")
+        fifo = simulate_vertex_cache(indices, cache_size=4, policy="fifo")
+        assert lru >= fifo
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            simulate_vertex_cache(np.arange(3), policy="random")
+
+    def test_strip_ordered_grid_near_two_thirds(self):
+        """The paper's Fig. 5 observation: adjacent-triangle lists reach ~66%."""
+        mesh = grid_mesh("g", 30, 30, 10, 10)
+        rate = simulate_vertex_cache(mesh.indices, cache_size=16)
+        assert abs(rate - 2.0 / 3.0) < 0.05
+
+
+class TestTipsify:
+    def test_preserves_triangle_set(self):
+        mesh = character_mesh("c", seed=11)
+        tris = mesh.triangles()
+        reordered = optimize_for_vertex_cache(tris)
+        assert reordered.shape == tris.shape
+        original = {tuple(sorted(map(int, t))) for t in tris}
+        new = {tuple(sorted(map(int, t))) for t in reordered}
+        assert original == new
+
+    def test_improves_shuffled_order(self):
+        mesh = grid_mesh("g", 24, 24, 10, 10)
+        tris = mesh.triangles()
+        rng = np.random.default_rng(0)
+        shuffled = tris[rng.permutation(tris.shape[0])]
+        before = simulate_vertex_cache(shuffled.reshape(-1), cache_size=16)
+        after = simulate_vertex_cache(
+            optimize_for_vertex_cache(shuffled, cache_size=16).reshape(-1),
+            cache_size=16,
+        )
+        assert after > before + 0.15
+
+    def test_empty_input(self):
+        out = optimize_for_vertex_cache(np.empty((0, 3), dtype=np.int64))
+        assert out.shape == (0, 3)
+
+    def test_single_triangle(self):
+        out = optimize_for_vertex_cache(np.array([[0, 1, 2]]))
+        assert out.tolist() == [[0, 1, 2]]
+
+    def test_disconnected_components_all_emitted(self):
+        tris = np.array([[0, 1, 2], [10, 11, 12], [20, 21, 22]])
+        out = optimize_for_vertex_cache(tris)
+        assert out.shape[0] == 3

@@ -1,0 +1,78 @@
+"""Tests for primitive assembly rules."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import (
+    PrimitiveType,
+    assemble_triangles,
+    indices_for_triangles,
+    primitive_count,
+    unique_vertex_fraction,
+)
+
+
+class TestPrimitiveCount:
+    @pytest.mark.parametrize(
+        "n,prim,expected",
+        [
+            (9, PrimitiveType.TRIANGLE_LIST, 3),
+            (10, PrimitiveType.TRIANGLE_LIST, 3),
+            (3, PrimitiveType.TRIANGLE_STRIP, 1),
+            (9, PrimitiveType.TRIANGLE_STRIP, 7),
+            (9, PrimitiveType.TRIANGLE_FAN, 7),
+            (2, PrimitiveType.TRIANGLE_LIST, 0),
+            (0, PrimitiveType.TRIANGLE_FAN, 0),
+        ],
+    )
+    def test_counts(self, n, prim, expected):
+        assert primitive_count(n, prim) == expected
+
+    @pytest.mark.parametrize("prim", list(PrimitiveType))
+    @pytest.mark.parametrize("tris", [1, 2, 7, 100])
+    def test_inverse(self, prim, tris):
+        n = indices_for_triangles(tris, prim)
+        assert primitive_count(n, prim) == tris
+
+
+class TestAssembly:
+    def test_list(self):
+        tris = assemble_triangles(np.arange(6), PrimitiveType.TRIANGLE_LIST)
+        assert tris.tolist() == [[0, 1, 2], [3, 4, 5]]
+
+    def test_strip_winding_alternates(self):
+        tris = assemble_triangles(np.arange(5), PrimitiveType.TRIANGLE_STRIP)
+        assert tris.tolist() == [[0, 1, 2], [2, 1, 3], [2, 3, 4]]
+
+    def test_fan_pivots_on_first(self):
+        tris = assemble_triangles(np.arange(5), PrimitiveType.TRIANGLE_FAN)
+        assert tris.tolist() == [[0, 1, 2], [0, 2, 3], [0, 3, 4]]
+
+    def test_too_few_indices(self):
+        tris = assemble_triangles(np.array([0, 1]), PrimitiveType.TRIANGLE_STRIP)
+        assert tris.shape == (0, 3)
+
+    def test_strip_consistent_orientation(self):
+        """Alternating winding preserves geometric orientation on a quad row."""
+        # positions: a zig-zag strip in the plane
+        positions = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1], [2, 0], [2, 1]], dtype=float
+        )
+        tris = assemble_triangles(np.arange(6), PrimitiveType.TRIANGLE_STRIP)
+        signs = []
+        for t in tris:
+            a, b, c = positions[t]
+            cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+            signs.append(np.sign(cross))
+        assert len(set(signs)) == 1  # all the same facing
+
+
+class TestUniqueFraction:
+    def test_all_unique(self):
+        assert unique_vertex_fraction(np.arange(9)) == 1.0
+
+    def test_shared(self):
+        assert unique_vertex_fraction(np.array([0, 1, 2, 0, 1, 2])) == 0.5
+
+    def test_empty(self):
+        assert unique_vertex_fraction(np.array([])) == 0.0

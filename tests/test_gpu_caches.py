@@ -1,0 +1,116 @@
+"""Tests for the set-associative cache model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.caches import Cache
+from repro.gpu.config import CacheConfig
+
+
+def make_cache(size=1024, line=64, ways=4):
+    return Cache(CacheConfig(size, line, ways, "test"))
+
+
+class TestBasics:
+    def test_config_geometry(self):
+        config = CacheConfig(16 * 1024, 256, 64, "z")
+        assert config.sets == 1
+        assert config.describe() == "64w x 256B"
+        config = CacheConfig(16 * 1024, 64, 16, "l1")
+        assert config.sets == 16
+        assert config.describe() == "16w x 16s x 64B"
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 64, 4)
+
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        hit, _ = cache.access(0)
+        assert not hit
+        hit, _ = cache.access(32)  # same 64B line
+        assert hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=256, line=64, ways=4)  # 4 lines, 1 set
+        for addr in (0, 64, 128, 192):
+            cache.access(addr)
+        cache.access(0)  # touch 0: now 64 is LRU
+        cache.access(256)  # evicts line 1 (addr 64)
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_dirty_eviction_reported(self):
+        cache = make_cache(size=128, line=64, ways=2)
+        cache.access(0, write=True)
+        cache.access(64)
+        _, evicted = cache.access(128)
+        assert evicted == 0  # dirty line 0 written back
+
+    def test_clean_eviction_silent(self):
+        cache = make_cache(size=128, line=64, ways=2)
+        cache.access(0)
+        cache.access(64)
+        _, evicted = cache.access(128)
+        assert evicted is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = make_cache(size=128, line=64, ways=2)
+        cache.access(0)
+        cache.access(0, write=True)
+        cache.access(64)
+        _, evicted = cache.access(128)
+        assert evicted == 0
+
+    def test_sets_isolate_addresses(self):
+        cache = make_cache(size=256, line=64, ways=1)  # 4 sets, direct mapped
+        cache.access(0)
+        cache.access(64)  # different set: no conflict
+        assert cache.contains(0) and cache.contains(64)
+        cache.access(256)  # same set as 0: evicts it
+        assert not cache.contains(0)
+
+    def test_flush_returns_dirty_only(self):
+        cache = make_cache(size=256, line=64, ways=4)
+        cache.access(0, write=True)
+        cache.access(64)
+        dirty = cache.flush()
+        assert dirty == [0]
+        assert not cache.contains(0)
+
+
+class TestStreams:
+    def test_stream_collapses_duplicates(self):
+        cache = make_cache()
+        lines = np.array([5, 5, 5, 6, 6, 5])
+        result = cache.access_stream(lines)
+        assert result.misses == 2
+        assert cache.hits == 4  # three duplicate refs + final 5 hit
+
+    def test_stream_reports_miss_lines(self):
+        cache = make_cache()
+        result = cache.access_stream(np.array([1, 1, 2, 3, 3]))
+        assert result.miss_lines == [1, 2, 3]
+
+    def test_empty_stream(self):
+        cache = make_cache()
+        result = cache.access_stream(np.array([]))
+        assert result.misses == 0 and not result.miss_lines
+
+    def test_runs_or_write_flags(self):
+        cache = make_cache(size=128, line=64, ways=2)
+        lines = np.array([0, 0, 1])
+        writes = np.array([False, True, False])
+        cache.access_runs(lines, writes)
+        # Line 0's run had a write: it must be dirty.
+        result = cache.access_runs(np.array([2, 3]), np.array([False, False]))
+        assert 0 in result.dirty_evictions
+
+    def test_hit_rate_property(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+        cache.reset_counters()
+        assert cache.hit_rate == 0.0

@@ -1,0 +1,102 @@
+"""Tests for clipping and face culling."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.clipper import clip_and_cull
+from repro.util import mathutil as mu
+
+W, H = 128, 96
+
+
+def run_clip(points, tris, cull="back", mvp=None):
+    points = np.asarray(points, dtype=np.float64)
+    if mvp is None:
+        mvp = mu.perspective(60, W / H, 0.1, 100) @ mu.look_at((0, 0, 5), (0, 0, 0))
+    clip = mu.transform_points(mvp, points)
+    uv = np.zeros((points.shape[0], 2))
+    color = np.ones((points.shape[0], 4))
+    return clip_and_cull(clip, np.asarray(tris), uv, color, W, H, cull=cull)
+
+
+class TestTrivialReject:
+    def test_visible_triangle_traversed(self):
+        result = run_clip([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]])
+        assert result.assembled == 1
+        assert result.traversed == 1
+        assert result.clipped == 0 and result.culled == 0
+
+    def test_fully_behind_camera_clipped(self):
+        result = run_clip([[0, 0, 10], [1, 0, 10], [0, 1, 10]], [[0, 1, 2]])
+        assert result.clipped == 1 and result.traversed == 0
+
+    def test_fully_offscreen_left_clipped(self):
+        result = run_clip([[-50, 0, 0], [-49, 0, 0], [-50, 1, 0]], [[0, 1, 2]])
+        assert result.clipped == 1
+
+    def test_beyond_far_plane_clipped(self):
+        result = run_clip([[0, 0, -200], [1, 0, -200], [0, 1, -200]], [[0, 1, 2]])
+        assert result.clipped == 1
+
+
+class TestCulling:
+    def test_backface_culled(self):
+        # Clockwise when viewed from +Z (the camera side).
+        result = run_clip([[0, 0, 0], [0, 1, 0], [1, 0, 0]], [[0, 1, 2]])
+        assert result.culled == 1 and result.traversed == 0
+
+    def test_cull_front_mode(self):
+        result = run_clip(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]], cull="front"
+        )
+        assert result.culled == 1
+
+    def test_cull_none_keeps_both(self):
+        points = [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        tris = [[0, 1, 2], [0, 2, 1]]
+        result = run_clip(points, tris, cull="none")
+        assert result.traversed == 2
+
+    def test_degenerate_culled_even_with_cull_none(self):
+        result = run_clip(
+            [[0, 0, 0], [0, 0, 0], [1, 1, 0]], [[0, 1, 2]], cull="none"
+        )
+        assert result.culled == 1
+
+    def test_unknown_cull_mode(self):
+        with pytest.raises(ValueError):
+            run_clip([[0, 0, 0], [1, 0, 0], [0, 1, 0]], [[0, 1, 2]], cull="diag")
+
+
+class TestNearClip:
+    def test_crossing_near_plane_splits_but_counts_once(self):
+        # Two vertices behind the camera: geometric clip, still 1 traversed
+        # (cull disabled so facing does not interfere with the count).
+        result = run_clip(
+            [[0, -1, -3], [2, -1, 20], [-2, -1, 20]], [[0, 1, 2]], cull="none"
+        )
+        assert result.assembled == 1
+        assert result.traversed == 1
+        assert result.triangles.count >= 1
+        # All emitted geometry is in front of the near plane.
+        assert (result.triangles.z >= 0).all()
+
+    def test_near_clip_preserves_screen_positions_finite(self):
+        result = run_clip([[0, 0, 4.95], [1, 0, -10], [-1, 0, -10]], [[0, 1, 2]])
+        assert np.isfinite(result.triangles.xy).all()
+
+
+class TestAccounting:
+    def test_percentages_partition(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(-30, 30, size=(60, 3))
+        tris = rng.integers(0, 60, size=(80, 3))
+        result = run_clip(points, tris, cull="back")
+        assert (
+            result.clipped + result.culled + result.traversed == result.assembled
+        )
+
+    def test_empty_input(self):
+        result = run_clip(np.zeros((3, 3)), np.empty((0, 3), dtype=int))
+        assert result.assembled == 0
+        assert result.triangles.count == 0

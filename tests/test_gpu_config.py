@@ -1,0 +1,69 @@
+"""Tests for GpuConfig and cache scaling."""
+
+import pytest
+
+from repro.gpu.config import CacheConfig, GpuConfig, scaled_cache
+
+
+class TestGpuConfig:
+    def test_r520_defaults_match_table2(self):
+        config = GpuConfig.r520()
+        assert config.width == 1024 and config.height == 768
+        assert config.zstencil_cache.size_bytes == 16 * 1024
+        assert config.texture_l0.size_bytes == 4 * 1024
+        assert config.texture_l1.describe() == "16w x 16s x 64B"
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            GpuConfig(width=0, height=10)
+
+    def test_pixels_and_hz_block(self):
+        config = GpuConfig(width=100, height=50)
+        assert config.pixels == 5000
+        assert config.hz_block == 8  # 256B line / 4B per pixel = 8x8
+
+    def test_with_resolution(self):
+        config = GpuConfig.r520().with_resolution(320, 240)
+        assert config.pixels == 320 * 240
+        assert config.zstencil_cache.size_bytes == 16 * 1024  # untouched
+
+    def test_table2_rows_shape(self):
+        rows = GpuConfig.r520().table2_rows()
+        assert len(rows) == 5
+        assert all(len(r) == 3 for r in rows)
+
+
+class TestCacheScaling:
+    def test_scaled_cache_valid_geometry(self):
+        cache = CacheConfig(16 * 1024, 256, 64, "z")
+        for factor in (0.1, 0.25, 0.5, 0.37, 2.0):
+            scaled = scaled_cache(cache, factor)
+            # Constructor validates divisibility; also check bounds.
+            assert scaled.size_bytes >= 2 * cache.line_bytes
+            assert scaled.line_bytes == cache.line_bytes
+
+    def test_scaling_screen_caches_only(self):
+        config = GpuConfig.r520().with_scaled_caches(0.5)
+        assert config.zstencil_cache.size_bytes == 8 * 1024
+        assert config.color_cache.size_bytes == 8 * 1024
+        assert config.texture_l0.size_bytes == 4 * 1024  # untouched
+        assert config.texture_l1.size_bytes == 16 * 1024  # untouched
+
+    def test_l1_factor(self):
+        config = GpuConfig.r520().with_scaled_caches(0.5, l1_factor=0.25)
+        assert config.texture_l1.size_bytes == 4 * 1024
+        assert config.texture_l0.size_bytes == 4 * 1024
+
+    def test_include_texture(self):
+        config = GpuConfig.r520().with_scaled_caches(0.5, include_texture=True)
+        assert config.texture_l0.size_bytes == 2 * 1024
+        assert config.texture_l1.size_bytes == 8 * 1024
+
+    def test_minimum_two_lines(self):
+        cache = CacheConfig(1024, 256, 4, "t")
+        scaled = scaled_cache(cache, 0.01)
+        assert scaled.size_bytes == 2 * 256
+
+    def test_hz_flags_default_off(self):
+        config = GpuConfig.r520()
+        assert not config.hz_min_max and not config.hz_stencil

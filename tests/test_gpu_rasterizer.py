@@ -1,0 +1,150 @@
+"""Tests for the quad rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.rasterizer import rasterize_triangle
+
+W, H = 64, 64
+
+
+def rast(xy, z=None, inv_w=None, uv=None, color=None, front=True):
+    xy = np.asarray(xy, dtype=float)
+    z = np.zeros(3) if z is None else np.asarray(z, float)
+    inv_w = np.ones(3) if inv_w is None else np.asarray(inv_w, float)
+    uv = np.zeros((3, 2)) if uv is None else np.asarray(uv, float)
+    color = np.zeros((3, 4)) if color is None else np.asarray(color, float)
+    return rasterize_triangle(xy, z, inv_w, uv, color, W, H, front=front)
+
+
+def coverage_image(batches):
+    img = np.zeros((H, W), int)
+    for qb in batches:
+        if qb is None:
+            continue
+        xs, ys = qb.pixel_coords()
+        mask = qb.cover
+        np.add.at(img, (ys[mask], xs[mask]), 1)
+    return img
+
+
+class TestCoverage:
+    def test_axis_aligned_rectangle_exact(self):
+        t1 = rast([(8, 8), (24, 8), (8, 16)])
+        t2 = rast([(24, 8), (24, 16), (8, 16)])
+        img = coverage_image([t1, t2])
+        assert img.sum() == 16 * 8
+        assert img.max() == 1
+
+    def test_shared_edges_never_double_covered(self):
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            a, b, c, d = rng.uniform(2, 62, size=(4, 2))
+            cross = lambda p, q, r: (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (
+                r[0] - p[0]
+            )
+            if cross(a, b, c) * cross(a, b, d) >= 0:
+                continue
+            img = coverage_image(
+                [rast([a, b, c]), rast([b, a, d])]
+            )
+            assert img.max() <= 1
+
+    def test_fragment_count_close_to_area(self):
+        tri = [(5.0, 5.0), (45.0, 10.0), (12.0, 50.0)]
+        qb = rast(tri)
+        area = 0.5 * abs(
+            (45 - 5) * (50 - 5) - (12 - 5) * (10 - 5)
+        )
+        assert qb.fragment_count == pytest.approx(area, rel=0.05)
+
+    def test_degenerate_returns_none(self):
+        assert rast([(0, 0), (10, 10), (20, 20)]) is None
+
+    def test_offscreen_returns_none(self):
+        assert rast([(-30, -30), (-20, -30), (-30, -20)]) is None
+
+    def test_subpixel_triangle_may_miss_all_centers(self):
+        qb = rast([(10.1, 10.1), (10.3, 10.1), (10.1, 10.3)])
+        assert qb is None  # covers no pixel center
+
+    def test_winding_independent_coverage(self):
+        a = rast([(8, 8), (30, 8), (8, 30)])
+        b = rast([(8, 8), (8, 30), (30, 8)])
+        assert a.fragment_count == b.fragment_count
+
+
+class TestQuads:
+    def test_quad_alignment(self):
+        qb = rast([(9, 9), (25, 9), (9, 25)])
+        xs, ys = qb.pixel_coords()
+        assert (xs[:, 0] % 2 == 0).all()
+        assert (ys[:, 0] % 2 == 0).all()
+
+    def test_complete_quads_interior(self):
+        qb = rast([(4, 4), (60, 4), (4, 60)])
+        assert 0.7 < qb.complete_quads / qb.quad_count <= 1.0
+
+    def test_quad_efficiency_drops_for_slivers(self):
+        big = rast([(4, 4), (60, 4), (4, 60)])
+        sliver = rast([(4, 4), (60, 6), (4, 6)])
+        assert (
+            sliver.complete_quads / sliver.quad_count
+            < big.complete_quads / big.quad_count
+        )
+
+    def test_select_subsets(self):
+        qb = rast([(4, 4), (40, 4), (4, 40)])
+        mask = np.zeros(qb.quad_count, dtype=bool)
+        mask[:3] = True
+        sub = qb.select(mask)
+        assert sub.quad_count == 3
+        assert sub.front == qb.front
+
+
+class TestInterpolation:
+    def test_depth_interpolation_linear(self):
+        qb = rast([(0, 0), (63, 0), (0, 63)], z=[0.0, 1.0, 1.0])
+        xs, ys = qb.pixel_coords()
+        mask = qb.cover
+        # Depth grows with x + y along the gradient defined by the vertices.
+        lane = np.argmax(xs[mask.any(axis=1)][0])
+        del lane
+        assert qb.z[mask].min() >= 0.0 and qb.z[mask].max() <= 1.0
+        near_origin = (xs < 2) & (ys < 2) & mask
+        if near_origin.any():
+            assert qb.z[near_origin].max() < 0.1
+
+    def test_affine_uv_interpolation(self):
+        qb = rast(
+            [(0, 0), (64, 0), (0, 64)],
+            uv=[(0, 0), (1, 0), (0, 1)],
+        )
+        xs, ys = qb.pixel_coords()
+        mask = qb.cover
+        expected_u = (xs[mask] + 0.5) / 64.0
+        assert np.allclose(qb.uv[mask][:, 0], expected_u, atol=0.02)
+
+    def test_perspective_correct_uv(self):
+        """With unequal 1/w the interpolation must bend towards the near end."""
+        qb = rast(
+            [(0, 20), (63, 20), (0, 40)],
+            inv_w=[1.0, 0.1, 1.0],
+            uv=[(0, 0), (1, 0), (0, 0)],
+        )
+        xs, ys = qb.pixel_coords()
+        mid = qb.cover & (np.abs(xs - 31) < 2) & (ys == 22)
+        assert mid.any()
+        # Affine would give ~0.5 at the horizontal midpoint;
+        # perspective-correct is much smaller because the right vertex is
+        # far away (small 1/w).
+        assert qb.uv[mid][:, 0].mean() < 0.25
+
+    def test_color_interpolation_range(self):
+        colors = [(1, 0, 0, 1), (0, 1, 0, 1), (0, 0, 1, 1)]
+        qb = rast([(4, 4), (40, 4), (4, 40)], color=colors)
+        mask = qb.cover
+        assert qb.color[mask].min() >= -1e-9
+        assert qb.color[mask].max() <= 1.0 + 1e-9
+        sums = qb.color[mask][:, :3].sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-6)  # barycentric partition

@@ -1,0 +1,183 @@
+"""Tests for texture resources, filtering, and the cache hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.memory import MemoryController
+from repro.gpu.stats import MemClient
+from repro.gpu.texture import (
+    TextureFilter,
+    TextureFormat,
+    TextureResource,
+    TextureUnit,
+)
+
+
+def checker(size=64):
+    img = np.zeros((size, size, 4), np.float32)
+    img[::2, ::2] = 1.0
+    img[1::2, 1::2] = 1.0
+    img[..., 3] = 1.0
+    return img
+
+
+def make_unit(filter=TextureFilter.BILINEAR, aniso=16, tex_size=64):
+    mem = MemoryController()
+    unit = TextureUnit(GpuConfig(), mem)
+    unit.register(TextureResource.from_image("t", checker(tex_size)))
+    unit.bind(0, "t")
+    unit.set_filter(filter, aniso)
+    return unit, mem
+
+
+def quad_coords(u0, v0, du, dv):
+    """One quad's worth of texture coordinates with the given derivatives."""
+    return np.array(
+        [
+            [u0, v0, 0, 1],
+            [u0 + du, v0, 0, 1],
+            [u0, v0 + dv, 0, 1],
+            [u0 + du, v0 + dv, 0, 1],
+        ]
+    )
+
+
+class TestResource:
+    def test_mip_chain_full(self):
+        tex = TextureResource.from_image("t", checker(64))
+        assert tex.levels == 7
+        assert tex.mips[-1].shape == (1, 1, 4)
+
+    def test_mip_chain_averages(self):
+        tex = TextureResource.from_image("t", checker(64))
+        assert tex.mips[-1][0, 0, 0] == pytest.approx(0.5, abs=0.01)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            TextureResource.from_image("t", np.zeros((60, 64, 4), np.float32))
+
+    def test_format_sizes(self):
+        assert TextureFormat.DXT1.bytes_per_texel == 0.5
+        assert TextureFormat.DXT5.bytes_per_texel == 1.0
+        assert TextureFormat.RGBA8.bytes_per_texel == 4.0
+
+    def test_compressed_bytes_dxt1(self):
+        tex = TextureResource.from_image("t", checker(64), TextureFormat.DXT1)
+        base_blocks = (64 // 4) ** 2
+        assert tex.compressed_bytes >= base_blocks * 8
+
+    def test_registration_assigns_disjoint_ranges(self):
+        mem = MemoryController()
+        unit = TextureUnit(GpuConfig(), mem)
+        a = unit.register(TextureResource.from_image("a", checker(64)))
+        b = unit.register(TextureResource.from_image("b", checker(64)))
+        assert b.base_address >= a.base_address + a.compressed_bytes
+
+
+class TestSampling:
+    def test_unbound_unit_returns_debug_color(self):
+        mem = MemoryController()
+        unit = TextureUnit(GpuConfig(), mem)
+        out = unit(0, quad_coords(0.5, 0.5, 0.001, 0.001))
+        assert np.allclose(out[0], [1, 0, 1, 1])
+
+    def test_bilinear_magnified_exact_texel_center(self):
+        unit, _ = make_unit()
+        # Sample texel (0,0) center: u = 0.5/64.
+        coords = quad_coords(0.5 / 64, 0.5 / 64, 0.001, 0.001)
+        out = unit(0, coords)
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_wrap_mode(self):
+        unit, _ = make_unit()
+        a = unit(0, quad_coords(0.25, 0.25, 0.001, 0.001))
+        b = unit(0, quad_coords(1.25, 1.25, 0.001, 0.001))
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_quad_alignment_required(self):
+        unit, _ = make_unit()
+        with pytest.raises(ValueError):
+            unit(0, np.zeros((3, 4)))
+
+    def test_bilinear_count_one_per_request(self):
+        unit, _ = make_unit(TextureFilter.BILINEAR)
+        unit(0, quad_coords(0.3, 0.3, 0.001, 0.001))
+        assert unit.stats.requests == 4
+        assert unit.stats.bilinear_samples == 4
+
+    def test_trilinear_doubles_when_minified(self):
+        unit, _ = make_unit(TextureFilter.TRILINEAR)
+        # Derivative of 4 texels/pixel -> lod 2: two mips touched.
+        unit(0, quad_coords(0.1, 0.1, 4 / 64, 4 / 64))
+        assert unit.stats.bilinear_samples == 8
+
+    def test_aniso_scales_with_footprint_ratio(self):
+        unit, _ = make_unit(TextureFilter.ANISOTROPIC, aniso=16)
+        # 8:1 anisotropy: du/dx large, dv/dy small.
+        unit(0, quad_coords(0.1, 0.1, 16 / 64, 2 / 64))
+        per_request = unit.stats.bilinear_samples / unit.stats.requests
+        assert 8 <= per_request <= 16 * 2
+
+    def test_aniso_clamped_to_max(self):
+        unit, _ = make_unit(TextureFilter.ANISOTROPIC, aniso=4)
+        unit(0, quad_coords(0.1, 0.1, 32 / 64, 1 / 64))
+        per_request = unit.stats.bilinear_samples / unit.stats.requests
+        assert per_request <= 4 * 2
+
+    def test_coverage_mask_limits_stats(self):
+        unit, _ = make_unit()
+        unit.set_coverage(np.array([True, False, False, False]))
+        unit(0, quad_coords(0.3, 0.3, 0.001, 0.001))
+        assert unit.stats.requests == 1
+
+    def test_stats_reset(self):
+        unit, _ = make_unit()
+        unit(0, quad_coords(0.3, 0.3, 0.001, 0.001))
+        snap = unit.stats.reset()
+        assert snap.requests == 4
+        assert unit.stats.requests == 0
+
+
+class TestCaches:
+    def test_memory_traffic_on_cold_sampling(self):
+        unit, mem = make_unit()
+        unit(0, quad_coords(0.2, 0.2, 0.01, 0.01))
+        assert mem.reads[MemClient.TEXTURE] > 0
+
+    def test_repeat_sampling_hits(self):
+        unit, mem = make_unit()
+        coords = quad_coords(0.2, 0.2, 0.01, 0.01)
+        unit(0, coords)
+        before = mem.reads[MemClient.TEXTURE]
+        unit(0, coords)
+        assert mem.reads[MemClient.TEXTURE] == before  # fully cached
+        assert unit.l0.hit_rate > 0.4
+
+    def test_spatial_locality_high_hit_rate(self):
+        unit, mem = make_unit()
+        # A row of adjacent quads, like a rasterized span.
+        for qx in range(32):
+            unit(0, quad_coords(qx / 64.0, 0.25, 1 / 64, 1 / 64))
+        assert unit.l0.hit_rate > 0.8
+
+    def test_dxt_reduces_memory_vs_rgba(self):
+        def traffic(fmt):
+            mem = MemoryController()
+            unit = TextureUnit(GpuConfig(), mem)
+            unit.register(TextureResource.from_image("t", checker(128), fmt))
+            unit.bind(0, "t")
+            unit.set_filter(TextureFilter.BILINEAR)
+            rng = np.random.default_rng(0)
+            for _ in range(200):
+                u, v = rng.random(2)
+                unit(0, quad_coords(u, v, 1 / 128, 1 / 128))
+            return mem.reads[MemClient.TEXTURE]
+
+        assert traffic(TextureFormat.RGBA8) > 2 * traffic(TextureFormat.DXT1)
+
+    def test_unknown_binding_rejected(self):
+        mem = MemoryController()
+        unit = TextureUnit(GpuConfig(), mem)
+        with pytest.raises(KeyError):
+            unit.bind(0, "nope")

@@ -1,0 +1,41 @@
+"""Extra microbenchmark and perf-model behaviour tests."""
+
+import pytest
+from dataclasses import replace
+
+from repro.gpu.config import GpuConfig
+from repro.microbench import fill_rate, texture_rate, zstencil_rate
+
+
+class TestMachineRateSensitivity:
+    """The estimates must respond to the Table II machine parameters."""
+
+    def test_texture_rate_scales_with_sampler_width(self):
+        narrow = texture_rate(GpuConfig(width=128, height=96, bilinears_per_cycle=8))
+        wide = texture_rate(GpuConfig(width=128, height=96, bilinears_per_cycle=32))
+        assert narrow.cycles_per_frame > wide.cycles_per_frame
+
+    def test_fill_rate_memory_bound_until_bus_widens(self):
+        config = GpuConfig(width=128, height=96)
+        slow_bus = fill_rate(replace(config, memory_bytes_per_cycle=16))
+        fast_bus = fill_rate(replace(config, memory_bytes_per_cycle=512))
+        assert slow_bus.bottleneck == "memory"
+        assert fast_bus.cycles_per_frame < slow_bus.cycles_per_frame
+
+    def test_layers_scale_events_linearly(self):
+        config = GpuConfig(width=128, height=96)
+        two = fill_rate(config, layers=2)
+        four = fill_rate(config, layers=4)
+        assert four.events == 2 * two.events
+
+    def test_zstencil_hz_still_counts_near_layer(self):
+        config = GpuConfig(width=64, height=64)
+        result = zstencil_rate(config, layers=3)
+        # The near full-screen layer always reaches the Z stage.
+        assert result.events >= 64 * 64
+
+    def test_events_per_cycle_zero_guard(self):
+        from repro.microbench import MicrobenchResult
+
+        r = MicrobenchResult("x", "m", 10, 0.0, "memory")
+        assert r.events_per_cycle == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the per-draw profiler."""
+
+import pytest
+
+from repro.gpu.profiler import DrawProfiler, DrawRecord, profile_workload
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    workload = build_workload("Doom3/trdemo2", sim=True)
+    return profile_workload(workload, frames=2), workload
+
+
+class TestRecords:
+    def test_one_profile_per_frame(self, profiles):
+        frames, _ = profiles
+        assert [p.frame for p in frames] == [0, 1]
+
+    def test_draw_counts_match_trace(self, profiles):
+        frames, workload = profiles
+        from repro.api.commands import Draw
+
+        trace_frames = list(workload.trace(frames=2).frames())
+        for profile, frame in zip(frames, trace_frames):
+            draws = sum(1 for c in frame.calls if isinstance(c, Draw))
+            assert len(profile.draws) == draws
+
+    def test_per_draw_totals_sum_to_frame_totals(self, profiles):
+        frames, workload = profiles
+        sim = workload.simulator()
+        result = sim.run_trace(workload.trace(frames=2))
+        profiled_frags = sum(p.totals("fragments_rasterized") for p in frames)
+        assert profiled_frags == result.stats.fragments_rasterized
+        profiled_tris = sum(p.totals("triangles_traversed") for p in frames)
+        assert profiled_tris == result.stats.triangles_traversed
+
+    def test_heaviest_sorted(self, profiles):
+        frames, _ = profiles
+        top = frames[1].heaviest(5, by="fragments_rasterized")
+        values = [d.fragments_rasterized for d in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_pass_kinds_present(self, profiles):
+        frames, _ = profiles
+        kinds = {d.pass_kind for d in frames[1].draws}
+        assert kinds == {"depth prepass", "shadow volume", "shading"}
+
+    def test_pass_kind_heuristic(self):
+        volume = DrawRecord(0, 0, "x.vol.r0k1l2", "vp", None)
+        assert volume.pass_kind == "shadow volume"
+        prepass = DrawRecord(0, 0, "x.room", "vp", None)
+        assert prepass.pass_kind == "depth prepass"
+        shading = DrawRecord(0, 0, "x.room", "vp", "fp")
+        assert shading.pass_kind == "shading"
+
+    def test_detach_restores_simulator(self):
+        workload = build_workload("UT2004/Primeval", sim=True)
+        sim = workload.simulator()
+        original = sim._process_draw
+        with DrawProfiler(sim) as profiler:
+            assert sim._process_draw != original
+        assert sim._process_draw == original
+        del profiler
+
+    def test_memory_attribution_positive(self, profiles):
+        frames, _ = profiles
+        assert frames[1].totals("memory_bytes") > 0
+        assert all(d.memory_bytes >= 0 for d in frames[1].draws)

@@ -1,0 +1,143 @@
+"""Second batch of hypothesis property tests: shaders, clipper, stencil."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.util.mathutil as mu
+from repro.gpu.clipper import clip_and_cull
+from repro.gpu.zstencil import _apply_stencil_op
+from repro.shader.interpreter import ShaderInterpreter
+from repro.shader.library import build_fragment_program, build_vertex_program
+from repro.shader.program import assemble
+
+finite = st.floats(-8.0, 8.0, allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------------
+# Shader interpreter algebraic identities
+
+
+@given(st.lists(finite, min_size=4, max_size=4), st.lists(finite, min_size=4, max_size=4))
+def test_add_commutes(a, b):
+    interp = ShaderInterpreter()
+    prog = assemble("ADD o0, v0, v1")
+    ab = interp.run(prog, {0: np.array([a]), 1: np.array([b])}).output(0)
+    ba = interp.run(prog, {0: np.array([b]), 1: np.array([a])}).output(0)
+    assert np.allclose(ab, ba)
+
+
+@given(st.lists(finite, min_size=4, max_size=4))
+def test_mov_identity(a):
+    interp = ShaderInterpreter()
+    prog = assemble("MOV o0, v0")
+    out = interp.run(prog, {0: np.array([a])}).output(0)
+    assert np.allclose(out, [a])
+
+
+@given(st.lists(finite, min_size=4, max_size=4))
+def test_double_negation(a):
+    interp = ShaderInterpreter()
+    prog = assemble("MOV r0, -v0\nMOV o0, -r0")
+    out = interp.run(prog, {0: np.array([a])}).output(0)
+    assert np.allclose(out, [a])
+
+
+@given(st.lists(finite, min_size=4, max_size=4), st.lists(finite, min_size=4, max_size=4))
+def test_min_max_bracket(a, b):
+    interp = ShaderInterpreter()
+    low = interp.run(
+        assemble("MIN o0, v0, v1"), {0: np.array([a]), 1: np.array([b])}
+    ).output(0)
+    high = interp.run(
+        assemble("MAX o0, v0, v1"), {0: np.array([a]), 1: np.array([b])}
+    ).output(0)
+    assert (low <= high).all()
+
+
+@given(
+    st.integers(min_value=12, max_value=48),
+    st.booleans(),
+)
+def test_vertex_builder_lengths(length, lit):
+    prog = build_vertex_program("p", length, lit=lit)
+    assert prog.instruction_count == length
+
+
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=30),
+    st.booleans(),
+)
+@settings(max_examples=60)
+def test_fragment_builder_lengths(tex, extra, alpha):
+    # Compute a definitely-feasible total and confirm exactness.
+    base = max(2 * tex + 1, 3) + (2 if alpha else 0) + 2
+    total = base + extra
+    prog = build_fragment_program("p", tex, total, alpha_test=alpha)
+    assert prog.instruction_count == total
+    assert prog.texture_instruction_count == tex
+    assert prog.uses_kill == alpha
+
+
+# ---------------------------------------------------------------------------
+# Stencil ops
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_stencil_incr_decr_inverse(value, ref):
+    values = np.array([value], dtype=np.int16)
+    up = _apply_stencil_op("incr_wrap", values, ref)
+    down = _apply_stencil_op("decr_wrap", up, ref)
+    assert down[0] == value
+    assert 0 <= int(up[0]) <= 255
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_stencil_replace_and_zero(value, ref):
+    values = np.array([value], dtype=np.int16)
+    assert _apply_stencil_op("replace", values, ref)[0] == ref
+    assert _apply_stencil_op("zero", values, ref)[0] == 0
+
+
+# ---------------------------------------------------------------------------
+# Clipper partition invariant
+
+
+@st.composite
+def triangle_soup(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    points = rng.uniform(-25, 25, size=(count * 3, 3))
+    tris = np.arange(count * 3).reshape(count, 3)
+    return points, tris
+
+
+@given(triangle_soup(), st.sampled_from(["back", "front", "none"]))
+@settings(max_examples=40, deadline=None)
+def test_clip_cull_partition(soup, cull):
+    points, tris = soup
+    mvp = mu.perspective(70, 4 / 3, 0.5, 60) @ mu.look_at((0, 1, 8), (0, 0, 0))
+    clip = mu.transform_points(mvp, points)
+    uv = np.zeros((points.shape[0], 2))
+    color = np.ones((points.shape[0], 4))
+    result = clip_and_cull(clip, tris, uv, color, 128, 96, cull=cull)
+    assert result.assembled == tris.shape[0]
+    assert result.clipped + result.culled + result.traversed == result.assembled
+    assert result.clipped >= 0 and result.culled >= 0 and result.traversed >= 0
+
+
+@given(triangle_soup())
+@settings(max_examples=25, deadline=None)
+def test_cull_none_never_fewer_traversed(soup):
+    points, tris = soup
+    mvp = mu.perspective(70, 4 / 3, 0.5, 60) @ mu.look_at((0, 1, 8), (0, 0, 0))
+    clip = mu.transform_points(mvp, points)
+    uv = np.zeros((points.shape[0], 2))
+    color = np.ones((points.shape[0], 4))
+    with_cull = clip_and_cull(clip, tris, uv, color, 128, 96, cull="back")
+    without = clip_and_cull(clip, tris, uv, color, 128, 96, cull="none")
+    assert without.traversed >= with_cull.traversed

@@ -1,0 +1,136 @@
+"""Tests for the shader program builders."""
+
+import numpy as np
+import pytest
+
+from repro.shader import library
+from repro.shader.interpreter import ShaderInterpreter
+from repro.shader.program import ShaderStage
+from repro.util import mathutil as mu
+
+
+class TestVertexBuilder:
+    @pytest.mark.parametrize("length", [12, 16, 20, 23, 28, 38])
+    def test_exact_length(self, length):
+        prog = library.build_vertex_program("p", length)
+        assert prog.instruction_count == length
+        assert prog.stage is ShaderStage.VERTEX
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            library.build_vertex_program("p", 5)
+
+    def test_unlit_variant(self):
+        prog = library.build_vertex_program("p", 12, lit=False)
+        assert prog.instruction_count == 12
+
+    def test_uv2_variant(self):
+        prog = library.build_vertex_program("p", 14, uv_sets=2)
+        assert prog.instruction_count == 14
+        with pytest.raises(ValueError):
+            library.build_vertex_program("p", 14, uv_sets=3)
+
+    def test_transform_is_real(self):
+        """The built program must compute a correct MVP transform."""
+        prog = library.build_vertex_program("p", 20)
+        mvp = mu.perspective(60, 1.0, 0.1, 100) @ mu.look_at((0, 0, 5), (0, 0, 0))
+        constants = {i: tuple(mvp[i]) for i in range(4)}
+        constants.update({8 + i: tuple(np.eye(4)[i]) for i in range(3)})
+        interp = ShaderInterpreter()
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        res = interp.run(
+            prog,
+            {
+                0: pos,
+                1: np.zeros((2, 2)),
+                2: np.tile([0.0, 1.0, 0.0], (2, 1)),
+                3: np.ones((2, 4)),
+                4: np.zeros((2, 3)),
+                5: np.zeros((2, 2)),
+            },
+            constants=constants,
+        )
+        expected = mu.transform_points(mvp, pos)
+        assert np.allclose(res.output(0), expected)
+
+    def test_lighting_writes_color(self):
+        prog = library.build_vertex_program("p", 20, lit=True)
+        constants = {i: (1.0 if i == j else 0.0, *(0.0,) * 3) for j, i in enumerate(range(4))}
+        # Simple identity-ish MVP plus model rows.
+        ident = np.eye(4)
+        constants = {i: tuple(ident[i]) for i in range(4)}
+        constants.update({8 + i: tuple(ident[i]) for i in range(3)})
+        interp = ShaderInterpreter()
+        res = interp.run(
+            prog,
+            {
+                0: np.array([[0.0, 0, 0]]),
+                1: np.zeros((1, 2)),
+                2: np.array([[0.35, 0.85, 0.40]]),
+                3: np.ones((1, 4)),
+                4: np.zeros((1, 3)),
+                5: np.zeros((1, 2)),
+            },
+            constants=constants,
+        )
+        color = res.output(2)
+        assert (color[0, :3] > 0.2).all()  # lit by default light direction
+
+
+class TestFragmentBuilder:
+    @pytest.mark.parametrize(
+        "tex,length", [(0, 3), (1, 5), (2, 8), (4, 13), (4, 16), (5, 18)]
+    )
+    def test_exact_length_and_tex_count(self, tex, length):
+        prog = library.build_fragment_program("p", tex, length)
+        assert prog.instruction_count == length
+        assert prog.texture_instruction_count == tex
+
+    def test_lean_budget_drops_modulate(self):
+        prog = library.build_fragment_program("p", 2, 4)
+        assert prog.instruction_count == 4
+        assert prog.texture_instruction_count == 2
+
+    def test_alpha_test_has_kill(self):
+        prog = library.build_fragment_program("p", 1, 8, alpha_test=True)
+        assert prog.uses_kill
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            library.build_fragment_program("p", 3, 3)
+
+    def test_executes_and_modulates(self):
+        prog = library.build_fragment_program("p", 1, 6)
+
+        def sampler(unit, coords):
+            return np.full((coords.shape[0], 4), 0.5)
+
+        interp = ShaderInterpreter(sampler=sampler)
+        res = interp.run(
+            prog,
+            {1: np.zeros((4, 4)), 2: np.full((4, 4), 0.8)},
+        )
+        assert np.allclose(res.output(0), 0.4)  # tex * vertex color
+
+    def test_kill_fires_below_threshold(self):
+        prog = library.build_fragment_program("p", 1, 8, alpha_test=True)
+
+        def sampler(unit, coords):
+            out = np.ones((coords.shape[0], 4))
+            out[0, 3] = 0.1  # below the 0.5 threshold
+            return out
+
+        interp = ShaderInterpreter(sampler=sampler)
+        res = interp.run(prog, {1: np.zeros((2, 4)), 2: np.ones((2, 4))})
+        assert list(res.kill_mask) == [True, False]
+
+
+class TestCanned:
+    def test_depth_only(self):
+        prog = library.depth_only_fragment()
+        assert prog.instruction_count == 1
+        assert prog.texture_instruction_count == 0
+
+    def test_fixed_function_translation(self):
+        prog = library.fixed_function_vertex()
+        assert prog.instruction_count == 23  # what Table IV reports for UT2004

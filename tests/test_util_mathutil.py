@@ -1,0 +1,92 @@
+"""Tests for repro.util.mathutil."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util import mathutil as mu
+
+
+class TestBasics:
+    def test_identity(self):
+        assert np.allclose(mu.identity(), np.eye(4))
+
+    def test_normalize_unit_length(self):
+        v = mu.normalize([3.0, 4.0, 0.0])
+        assert np.allclose(v, [0.6, 0.8, 0.0])
+
+    def test_normalize_zero_vector_passthrough(self):
+        assert np.allclose(mu.normalize([0.0, 0.0, 0.0]), 0.0)
+
+    def test_translate_moves_point(self):
+        p = mu.transform_points(mu.translate(1, 2, 3), np.array([[0.0, 0, 0]]))
+        assert np.allclose(p[0, :3], [1, 2, 3])
+        assert p[0, 3] == 1.0
+
+    def test_scale_matrix(self):
+        m = mu.scale(2, 3, 4)
+        p = mu.transform_points(m, np.array([[1.0, 1, 1]]))
+        assert np.allclose(p[0, :3], [2, 3, 4])
+
+    def test_rotate_y_quarter_turn(self):
+        m = mu.rotate_y(math.pi / 2)
+        p = mu.transform_points(m, np.array([[1.0, 0, 0]]))
+        assert np.allclose(p[0, :3], [0, 0, -1], atol=1e-12)
+
+    def test_rotate_x_quarter_turn(self):
+        m = mu.rotate_x(math.pi / 2)
+        p = mu.transform_points(m, np.array([[0.0, 1, 0]]))
+        assert np.allclose(p[0, :3], [0, 0, 1], atol=1e-12)
+
+    def test_rotations_preserve_length(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(10, 3))
+        rotated = mu.transform_points(mu.rotate_y(0.7), pts)[:, :3]
+        assert np.allclose(
+            np.linalg.norm(rotated, axis=1), np.linalg.norm(pts, axis=1)
+        )
+
+
+class TestProjection:
+    def test_perspective_maps_near_far_to_clip_bounds(self):
+        m = mu.perspective(90, 1.0, 1.0, 100.0)
+        near = m @ np.array([0, 0, -1.0, 1.0])
+        far = m @ np.array([0, 0, -100.0, 1.0])
+        assert near[2] / near[3] == pytest.approx(-1.0)
+        assert far[2] / far[3] == pytest.approx(1.0)
+
+    def test_perspective_rejects_bad_planes(self):
+        with pytest.raises(ValueError):
+            mu.perspective(60, 1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            mu.perspective(60, 1.0, 10.0, 5.0)
+
+    def test_perspective_fov_edge(self):
+        m = mu.perspective(90, 1.0, 1.0, 100.0)
+        # At 90 degrees fov, x == z on the frustum edge.
+        edge = m @ np.array([1.0, 0, -1.0, 1.0])
+        assert edge[0] / edge[3] == pytest.approx(1.0)
+
+
+class TestLookAt:
+    def test_look_at_centers_target(self):
+        view = mu.look_at((5, 3, 5), (0, 0, 0))
+        p = mu.transform_points(view, np.array([[0.0, 0, 0]]))
+        assert p[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert p[0, 1] == pytest.approx(0.0, abs=1e-12)
+        assert p[0, 2] == pytest.approx(-math.sqrt(59), rel=1e-12)
+
+    def test_look_at_eye_maps_to_origin(self):
+        view = mu.look_at((1, 2, 3), (4, 5, 6))
+        p = mu.transform_points(view, np.array([[1.0, 2, 3]]))
+        assert np.allclose(p[0, :3], 0.0, atol=1e-12)
+
+    def test_look_at_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            mu.look_at((1, 1, 1), (1, 1, 1))
+
+    def test_transform_directions_ignores_translation(self):
+        m = mu.translate(10, 20, 30) @ mu.rotate_y(0.5)
+        d = mu.transform_directions(m, np.array([[0.0, 1.0, 0.0]]))
+        assert np.allclose(d[0], [0, 1, 0])

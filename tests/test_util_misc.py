@@ -1,0 +1,81 @@
+"""Tests for Morton codes, ASCII plotting and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiplot import ascii_series, sparkline
+from repro.util.morton import demorton2d, morton2d
+from repro.util.tables import format_table
+
+
+class TestMorton:
+    def test_known_values(self):
+        assert int(morton2d(0, 0)) == 0
+        assert int(morton2d(1, 0)) == 1
+        assert int(morton2d(0, 1)) == 2
+        assert int(morton2d(1, 1)) == 3
+        assert int(morton2d(2, 0)) == 4
+
+    def test_roundtrip_vector(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 1 << 16, size=500)
+        ys = rng.integers(0, 1 << 16, size=500)
+        code = morton2d(xs, ys)
+        rx, ry = demorton2d(code)
+        assert np.array_equal(rx, xs.astype(np.uint64))
+        assert np.array_equal(ry, ys.astype(np.uint64))
+
+    def test_locality(self):
+        # Adjacent cells differ by small code deltas most of the time.
+        a = int(morton2d(10, 10))
+        b = int(morton2d(11, 10))
+        assert abs(a - b) < 64
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5.0] * 10, width=10)
+        assert len(line) == 10
+        assert len(set(line)) == 1
+
+    def test_ramp_monotone(self):
+        line = sparkline(list(range(100)), width=20)
+        assert line[0] == " " and line[-1] == "@"
+
+
+class TestAsciiSeries:
+    def test_contains_legend_and_title(self):
+        chart = ascii_series({"a": [1, 2, 3], "b": [3, 2, 1]}, title="T")
+        assert "T" in chart
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_logy_handles_zero(self):
+        chart = ascii_series({"a": [0, 10, 100]}, logy=True)
+        assert "log10" in chart
+
+    def test_empty_series(self):
+        assert ascii_series({"a": []}, title="t") == "t"
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "n"], [["x", 1], ["longer", 23]])
+        lines = text.splitlines()
+        assert lines[1].startswith("-")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["v"], [[1], [100]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_thousands_separator(self):
+        text = format_table(["v"], [[123456]])
+        assert "123,456" in text

@@ -1,0 +1,86 @@
+"""Tests for WorkloadSpec / SimProfile / EngineParams behaviour."""
+
+import pytest
+
+from repro.api.commands import GraphicsApi
+from repro.gpu.texture import TextureFilter
+from repro.workloads.spec import EngineParams, SimProfile, WorkloadSpec
+
+
+def make_spec(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        name="Test/demo",
+        game="Test",
+        timedemo="demo",
+        engine="TestEngine",
+        api=GraphicsApi.OPENGL,
+        frames=100,
+        duration_s=3.3,
+        texture_quality="High/Anisotropic",
+        aniso_level=16,
+        uses_shaders=True,
+        release="2006",
+        index_size_bytes=2,
+        seed=1,
+        params=EngineParams(render_path="forward"),
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestSpec:
+    def test_slug(self):
+        spec = make_spec(name="Half Life 2 LC/built-in")
+        assert spec.slug == "half_life_2_lc_built-in"
+
+    def test_texture_filter_selection(self):
+        assert make_spec(aniso_level=16).texture_filter is TextureFilter.ANISOTROPIC
+        assert make_spec(aniso_level=None).texture_filter is TextureFilter.TRILINEAR
+
+    def test_scaled_for_sim_applies_all_scales(self):
+        spec = make_spec(
+            params=EngineParams(
+                render_path="stencil_shadow",
+                object_tris=320,
+                room_tris=1600,
+                character_tris=640,
+                objects_per_room=40,
+                casters_per_room=20,
+                characters_per_room=4,
+            ),
+            sim=SimProfile(
+                geometry_scale=0.25,
+                object_count_scale=0.5,
+                object_size_scale=2.0,
+                uv_scale=1.0,
+            ),
+        )
+        scaled = spec.scaled_for_sim()
+        assert scaled.params.object_tris == 80
+        assert scaled.params.room_tris == 400
+        assert scaled.params.objects_per_room == 20
+        assert scaled.params.casters_per_room == 10
+        assert scaled.params.prop_size == 2.0
+        assert scaled.params.startup_calls == 200
+
+    def test_scaled_for_sim_clamps_minimums(self):
+        spec = make_spec(
+            params=EngineParams(render_path="forward", object_tris=20),
+            sim=SimProfile(geometry_scale=0.01),
+        )
+        scaled = spec.scaled_for_sim()
+        assert scaled.params.object_tris >= 12
+        assert scaled.params.objects_per_room >= 4
+
+    def test_sim_profile_defaults(self):
+        profile = SimProfile()
+        assert profile.width == 256 and profile.height == 192
+        assert 0 < profile.cache_scale <= 1
+        assert 0 < profile.texture_l1_scale <= 1
+
+    def test_specs_are_frozen(self):
+        spec = make_spec()
+        with pytest.raises(Exception):
+            spec.frames = 5  # type: ignore[misc]
+        with pytest.raises(Exception):
+            spec.params.rooms = 3  # type: ignore[misc]

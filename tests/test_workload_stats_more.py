@@ -1,0 +1,70 @@
+"""More API statistics edge cases and cross-checks against paper identities."""
+
+import pytest
+
+from repro.api.stats import FrameApiStats, WorkloadApiStats
+from repro.experiments import paper
+from repro.geometry.primitives import PrimitiveType
+from repro.workloads import build_workload
+
+
+class TestFrameApiStats:
+    def test_zero_denominators(self):
+        frame = FrameApiStats(frame=0)
+        assert frame.avg_vertex_instructions == 0.0
+        assert frame.avg_fragment_instructions == 0.0
+        assert frame.avg_texture_instructions == 0.0
+        assert frame.primitive_total == 0
+
+    def test_workload_stats_empty(self):
+        stats = WorkloadApiStats("w", 2)
+        assert stats.avg_indices_per_batch == 0.0
+        assert stats.avg_indices_per_frame == 0.0
+        assert stats.avg_state_calls_per_frame == 0.0
+        assert stats.primitive_share == {}
+        assert stats.alu_to_texture_ratio == float("inf")
+
+    def test_series_limit(self):
+        stats = WorkloadApiStats("w", 2)
+        for i in range(10):
+            stats.add(FrameApiStats(frame=i, batches=i))
+        assert stats.series("batches", limit=5) == [0, 1, 2, 3, 4]
+        assert len(stats.series("batches", limit=None)) == 10
+
+
+class TestPaperIdentities:
+    """Identities the paper's own tables satisfy must hold for ours."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["Doom3/trdemo2", "FEAR/built-in demo", "Half Life 2 LC/built-in"],
+    )
+    def test_triangle_list_assembly_identity(self, name):
+        """For pure-TL workloads: primitives/frame == indices/frame / 3."""
+        stats = build_workload(name).api_stats(frames=6)
+        share = stats.primitive_share
+        assert share.get(PrimitiveType.TRIANGLE_LIST, 0) == pytest.approx(1.0)
+        assert stats.avg_primitives_per_frame == pytest.approx(
+            stats.avg_indices_per_frame / 3.0, rel=1e-6
+        )
+
+    def test_index_bw_identity(self):
+        """Table III: MB/s = indices/frame x bytes/index x fps."""
+        stats = build_workload("Quake4/demo4").api_stats(frames=6)
+        expected = stats.avg_indices_per_frame * 4 * 100
+        assert stats.index_bandwidth_bytes_per_s(100) == pytest.approx(expected)
+
+    def test_alu_tex_identity(self):
+        """Table XII: ratio == (instructions - tex) / tex."""
+        stats = build_workload("Oblivion/Anvil Castle").api_stats(frames=6)
+        expected = (
+            stats.avg_fragment_instructions - stats.avg_texture_instructions
+        ) / stats.avg_texture_instructions
+        assert stats.alu_to_texture_ratio == pytest.approx(expected)
+
+    def test_paper_bytes_per_index_constant_per_engine(self):
+        """idTech4 games use 32-bit indices, everyone else 16-bit."""
+        for name in paper.WORKLOAD_ORDER:
+            expected = paper.TABLE3[name][2]
+            spec = build_workload(name).spec
+            assert spec.index_size_bytes == expected, name
