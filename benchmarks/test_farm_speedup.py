@@ -1,0 +1,67 @@
+"""Micro-benchmark: execution-farm speedups, recorded to results/.
+
+Times the same batch of measurement jobs three ways — serial cold,
+parallel cold, and warm from the artifact cache — and writes the wall
+times (plus the derived speedups) to ``results/farm_speedup.txt``.  The
+parallel speedup depends on the machine; the warm-cache speedup is the
+subsystem's contract and is asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.farm import ArtifactStore, Farm, api_job, sim_job
+from repro.util.tables import format_table
+
+#: Small but representative batch: four API passes and one simulation.
+BATCH = [
+    api_job("UT2004/Primeval", 3),
+    api_job("Doom3/trdemo2", 3),
+    api_job("FEAR/interval2", 3),
+    api_job("Half Life 2 LC/built-in", 3),
+    sim_job("UT2004/Primeval", 1),
+]
+
+
+def _timed_run(farm: Farm) -> float:
+    start = time.perf_counter()
+    farm.run(BATCH)
+    return time.perf_counter() - start
+
+
+def test_farm_speedup(tmp_path, record_exhibit):
+    # At least two workers so the pool path is exercised even on one core
+    # (the speedup column then honestly shows the pool overhead).
+    workers = max(2, min(4, os.cpu_count() or 1))
+
+    serial_cold = _timed_run(Farm(ArtifactStore(tmp_path / "serial"), jobs=1))
+    parallel_store = tmp_path / "parallel"
+    parallel_cold = _timed_run(Farm(ArtifactStore(parallel_store), jobs=workers))
+    warm = _timed_run(Farm(ArtifactStore(parallel_store), jobs=workers))
+
+    rows = [
+        ["serial, cold cache (1 worker)", f"{serial_cold:.2f}", "1.0x"],
+        [
+            f"parallel, cold cache ({workers} workers)",
+            f"{parallel_cold:.2f}",
+            f"{serial_cold / parallel_cold:.1f}x",
+        ],
+        [
+            "warm cache (any workers)",
+            f"{warm:.3f}",
+            f"{serial_cold / max(warm, 1e-9):.0f}x",
+        ],
+    ]
+    record_exhibit(
+        "farm_speedup",
+        format_table(
+            ["execution mode", "wall s", "speedup vs serial cold"],
+            rows,
+            title=f"Execution farm: {len(BATCH)} measurement jobs",
+        ),
+    )
+
+    # The warm-cache contract: repeat runs skip execution entirely.
+    assert warm * 5 < parallel_cold

@@ -9,11 +9,21 @@ Subcommands
 ``replay``        replay a JSONL trace through the simulator
 ``tables``        regenerate paper tables (all or selected) into a directory
 ``figures``       regenerate paper figures (text + CSV) into a directory
+``scorecard``     regenerate EXPERIMENTS.md (measured vs paper)
+``farm``          inspect (``status``) or empty (``clear``) the artifact cache
+
+The measurement-heavy commands (``tables``, ``figures``, ``scorecard``,
+``simulate``) run on the execution farm: ``--jobs N`` shards the underlying
+measurement runs across worker processes (default: all cores), results are
+cached content-addressed under ``.repro-cache/`` (``--cache-dir`` or
+``REPRO_CACHE_DIR`` override, ``--no-cache`` to disable), and interrupted
+simulations resume from their last checkpointed frame.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -22,6 +32,20 @@ from repro.experiments import ExperimentConfig, Runner, figures, tables
 from repro.gpu.stats import MemClient
 from repro.util.tables import format_table
 from repro.workloads import all_workloads, build_workload
+
+#: Which measurement kinds each exhibit reads (for selective prefetching).
+_TABLE_KINDS = {
+    "table3": "api", "table4": "api", "table5": "api", "table12": "api",
+    "table7": "geometry",
+    "table8": "sim", "table9": "sim", "table10": "sim", "table11": "sim",
+    "table13": "sim", "table14": "sim", "table15": "sim", "table16": "sim",
+    "table17": "sim",
+}
+_FIGURE_KINDS = {
+    "figure1": "api", "figure2": "api", "figure3": "api", "figure8": "api",
+    "figure5": "geometry", "figure6": "geometry",
+    "figure7": "sim",
+}
 
 
 def _cmd_list(args) -> int:
@@ -67,8 +91,14 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    workload = build_workload(args.workload, sim=True)
-    result = workload.simulate(frames=args.frames)
+    from repro.farm import Farm, JobSpec
+
+    farm = Farm(
+        store=_make_store(args),
+        jobs=_resolve_jobs(args),
+        use_cache=not args.no_cache,
+    )
+    result = farm.run_one(JobSpec("sim", args.workload, args.frames))
     stats = result.stats
     clip, cull, trav = stats.clip_cull_traverse_percent
     fates = stats.quad_fate_percent
@@ -124,13 +154,58 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _add_farm_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for measurement runs (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk artifact cache (and checkpointing)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+
+def _resolve_jobs(args) -> int:
+    jobs = getattr(args, "jobs", None)
+    return jobs if jobs else (os.cpu_count() or 1)
+
+
+def _make_store(args):
+    from repro.farm import ArtifactStore
+
+    return ArtifactStore(getattr(args, "cache_dir", None))
+
+
 def _make_runner(args) -> Runner:
     return Runner(
         ExperimentConfig(
             api_frames=args.api_frames,
             sim_frames=args.sim_frames,
             geometry_frames=args.geometry_frames,
-        )
+        ),
+        jobs=_resolve_jobs(args),
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _prefetch_for(runner: Runner, selected: list[str], kinds: dict) -> None:
+    """Batch the selected exhibits' measurement runs through the farm."""
+    needed = {kinds[name] for name in selected if name in kinds}
+    if not needed:
+        return
+    runner.prefetch(
+        api_names=None if "api" in needed else [],
+        sim_names=None if "sim" in needed else [],
+        geometry_names=None if "geometry" in needed else [],
     )
 
 
@@ -143,6 +218,8 @@ def _cmd_tables(args) -> int:
         if name not in tables.ALL_TABLES:
             print(f"unknown table {name!r}", file=sys.stderr)
             return 2
+    _prefetch_for(runner, selected, _TABLE_KINDS)
+    for name in selected:
         func = tables.ALL_TABLES[name]
         try:
             comparison = func(runner=runner)  # type: ignore[call-arg]
@@ -164,6 +241,8 @@ def _cmd_figures(args) -> int:
         if name not in figures.ALL_FIGURES:
             print(f"unknown figure {name!r}", file=sys.stderr)
             return 2
+    _prefetch_for(runner, selected, _FIGURE_KINDS)
+    for name in selected:
         func = figures.ALL_FIGURES[name]
         try:
             figure = func(runner=runner)  # type: ignore[call-arg]
@@ -214,10 +293,48 @@ def _cmd_scorecard(args) -> int:
     from repro.experiments.scorecard import experiments_markdown
 
     runner = _make_runner(args)
+    runner.prefetch()
     markdown = experiments_markdown(runner)
     out = pathlib.Path(args.output)
     out.write_text(markdown + "\n")
     print(f"wrote {out}")
+    print(runner.telemetry.summary_line())
+    return 0
+
+
+def _cmd_farm(args) -> int:
+    store = _make_store(args)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} file(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    rows = [
+        [
+            m.get("kind", "?"),
+            m.get("workload", "?"),
+            m.get("frames", "?"),
+            m["key"][:12],
+            f"{m['bytes'] / 1024:.0f}",
+            f"{m['wall_s']:.1f}" if m.get("wall_s") is not None else "-",
+        ]
+        for m in entries
+    ]
+    print(
+        format_table(
+            ["kind", "workload", "frames", "key", "KB", "wall s"],
+            rows,
+            title=f"Artifact cache at {store.root}",
+        )
+    )
+    checkpoints = store.checkpoints()
+    saved = sum(m["wall_s"] or 0.0 for m in entries)
+    print()
+    print(
+        f"{len(entries)} artifact(s), {store.total_bytes() / 1e6:.1f} MB, "
+        f"~{saved:.0f}s of compute banked; "
+        f"{len(checkpoints)} in-flight checkpoint(s)"
+    )
     return 0
 
 
@@ -242,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--frames", type=int, default=4)
     p.add_argument("--ppm", help="also write a rendered frame here")
+    _add_farm_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("trace", help="dump a workload trace to JSONL")
@@ -274,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--api-frames", type=int, default=120)
     p.add_argument("--sim-frames", type=int, default=6)
     p.add_argument("--geometry-frames", type=int, default=60)
+    _add_farm_flags(p)
     p.set_defaults(func=_cmd_scorecard)
 
     for name, func, help_text in (
@@ -286,7 +405,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--api-frames", type=int, default=120)
         p.add_argument("--sim-frames", type=int, default=4)
         p.add_argument("--geometry-frames", type=int, default=60)
+        _add_farm_flags(p)
         p.set_defaults(func=func)
+
+    p = sub.add_parser("farm", help="inspect or clear the artifact cache")
+    p.add_argument("action", choices=["status", "clear"])
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.set_defaults(func=_cmd_farm)
     return parser
 
 

@@ -1,18 +1,29 @@
 """Shared, cached execution of the underlying measurement runs.
 
 Many exhibits read the same three simulations and twelve API-statistics
-passes; the runner executes each once per process and caches the results.
+passes.  The runner maps each read onto a content-addressed
+:class:`~repro.farm.job.JobSpec` and hands it to the execution farm
+(:mod:`repro.farm`), which satisfies it from the persistent artifact cache
+when possible and otherwise executes it — in parallel across worker
+processes when more than one job is outstanding and the farm is configured
+with ``jobs > 1``.  Results are additionally memoized in-process so repeated
+reads within one runner return the identical object.
+
 Frame counts are configurable (environment variables ``REPRO_API_FRAMES``,
 ``REPRO_SIM_FRAMES``, ``REPRO_GEOM_FRAMES`` override the defaults) — more
-frames tighten the statistics at proportional cost.
+frames tighten the statistics at proportional cost.  The frame budget is
+part of every cache key (in-process and on-disk), so changing a budget can
+never serve results computed under another one.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.api.stats import WorkloadApiStats
+from repro.farm import Farm, JobSpec
 from repro.gpu.pipeline import SimulationResult
 from repro.workloads import build_workload
 from repro.workloads.generator import GameWorkload
@@ -43,15 +54,55 @@ class ExperimentConfig:
 
 
 class Runner:
-    """Executes and caches API/simulation runs for the experiment functions."""
+    """Executes and caches API/simulation runs for the experiment functions.
 
-    def __init__(self, config: ExperimentConfig | None = None):
+    ``jobs``, ``use_cache`` and ``cache_dir`` configure the underlying farm
+    (ignored when an explicit ``farm`` is passed): ``jobs=1`` keeps the
+    classic serial in-process behaviour, larger values shard outstanding
+    jobs across worker processes; ``use_cache=False`` disables the on-disk
+    artifact store entirely.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        farm: Farm | None = None,
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache_dir: str | None = None,
+    ):
         self.config = config or ExperimentConfig()
-        self._api: dict[str, WorkloadApiStats] = {}
-        self._sim: dict[str, SimulationResult] = {}
-        self._geometry: dict[str, SimulationResult] = {}
+        if farm is None:
+            from repro.farm import ArtifactStore
+
+            farm = Farm(
+                store=ArtifactStore(cache_dir), jobs=jobs, use_cache=use_cache
+            )
+        self.farm = farm
+        self._results: dict[JobSpec, Any] = {}
         self._workloads: dict[tuple[str, bool], GameWorkload] = {}
 
+    @property
+    def telemetry(self):
+        return self.farm.telemetry
+
+    # -- job plumbing ----------------------------------------------------
+    def _frames(self, kind: str) -> int:
+        return {
+            "api": self.config.api_frames,
+            "sim": self.config.sim_frames,
+            "geometry": self.config.geometry_frames,
+        }[kind]
+
+    def _job(self, kind: str, name: str) -> JobSpec:
+        return JobSpec(kind, name, self._frames(kind))
+
+    def _get(self, job: JobSpec) -> Any:
+        if job not in self._results:
+            self._results[job] = self.farm.run_one(job)
+        return self._results[job]
+
+    # -- public API ------------------------------------------------------
     def workload(self, name: str, sim: bool = False) -> GameWorkload:
         key = (name, sim)
         if key not in self._workloads:
@@ -60,32 +111,49 @@ class Runner:
 
     def api(self, name: str) -> WorkloadApiStats:
         """Full-profile API statistics (Tables III-V, XII; Figs. 1-3, 8)."""
-        if name not in self._api:
-            self._api[name] = self.workload(name).api_stats(
-                frames=self.config.api_frames
-            )
-        return self._api[name]
+        return self._get(self._job("api", name))
 
     def sim(self, name: str) -> SimulationResult:
         """Full-pipeline simulation on the reduced profile (Tables VIII-XVII)."""
-        if name not in self._sim:
-            wl = self.workload(name, sim=True)
-            self._sim[name] = wl.simulate(frames=self.config.sim_frames)
-        return self._sim[name]
+        return self._get(self._job("sim", name))
 
     def geometry(self, name: str) -> SimulationResult:
         """Geometry-only simulation over more frames (Table VII, Figs. 5-6)."""
-        if name not in self._geometry:
-            wl = self.workload(name, sim=True)
-            self._geometry[name] = wl.simulate(
-                frames=self.config.geometry_frames, fragment_stages=False
-            )
-        return self._geometry[name]
+        return self._get(self._job("geometry", name))
+
+    def prefetch(
+        self,
+        api_names: list[str] | None = None,
+        sim_names: list[str] | None = None,
+        geometry_names: list[str] | None = None,
+    ) -> None:
+        """Execute every measurement the exhibits will read, as one batch.
+
+        This is the parallel entry point: all outstanding jobs go to the
+        farm together, which shards them across workers.  ``None`` for a
+        list means its default coverage — API statistics for all twelve
+        workloads, simulation and geometry runs for the three OpenGL games;
+        pass an empty list to skip a kind entirely.
+        """
+        from repro.experiments import paper
+        from repro.workloads import all_workloads
+
+        if api_names is None:
+            api_names = [spec.name for spec in all_workloads()]
+        if sim_names is None:
+            sim_names = list(paper.SIMULATED)
+        if geometry_names is None:
+            geometry_names = list(paper.SIMULATED)
+        jobs = [self._job("api", name) for name in api_names]
+        jobs += [self._job("sim", name) for name in sim_names]
+        jobs += [self._job("geometry", name) for name in geometry_names]
+        missing = [job for job in jobs if job not in self._results]
+        if missing:
+            self._results.update(self.farm.run(missing))
 
     def clear(self) -> None:
-        self._api.clear()
-        self._sim.clear()
-        self._geometry.clear()
+        """Drop the in-process memo (the on-disk artifact store persists)."""
+        self._results.clear()
         self._workloads.clear()
 
 
@@ -93,8 +161,16 @@ _DEFAULT: Runner | None = None
 
 
 def default_runner() -> Runner:
-    """Process-wide shared runner (what the benchmarks use)."""
+    """Process-wide shared runner (what the benchmarks use).
+
+    Rebuilt whenever the environment-derived frame budgets change, so a
+    long-lived process never serves results computed under stale budgets.
+    Parallelism defaults to the machine width (``REPRO_FARM_JOBS``
+    overrides).
+    """
     global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = Runner()
+    config = ExperimentConfig()
+    if _DEFAULT is None or _DEFAULT.config != config:
+        jobs = _env_int("REPRO_FARM_JOBS", 0) or (os.cpu_count() or 1)
+        _DEFAULT = Runner(config, jobs=jobs)
     return _DEFAULT

@@ -1,0 +1,38 @@
+"""Execution farm: parallel, cached, resumable measurement runs.
+
+Every exhibit in the repository bottoms out in one of three measurement
+kinds — API statistics, full-pipeline simulation, or geometry-only
+simulation — over one of the twelve Table-I workloads.  The farm turns each
+such run into a content-addressed :class:`~repro.farm.job.JobSpec`, executes
+batches of jobs across worker processes (:class:`~repro.farm.executor.Farm`),
+persists the results in an on-disk :class:`~repro.farm.store.ArtifactStore`
+(``.repro-cache/`` by default, ``REPRO_CACHE_DIR`` override), and checkpoints
+long simulations frame-by-frame so an interrupted run resumes where it
+stopped instead of starting over.
+
+The cache key covers everything that can change a result: workload spec,
+seed, frame budget, GPU configuration, and a hash of the ``repro`` source
+tree — so stale artifacts are impossible by construction and ``farm clear``
+is an optimization, never a correctness requirement.
+"""
+
+from repro.farm.executor import Farm, FarmError, run_job
+from repro.farm.job import JobSpec, api_job, geometry_job, sim_job
+from repro.farm.store import ArtifactStore, default_cache_dir
+from repro.farm.telemetry import FarmTelemetry, JobRecord
+from repro.farm.version import code_version
+
+__all__ = [
+    "ArtifactStore",
+    "Farm",
+    "FarmError",
+    "FarmTelemetry",
+    "JobRecord",
+    "JobSpec",
+    "api_job",
+    "code_version",
+    "default_cache_dir",
+    "geometry_job",
+    "run_job",
+    "sim_job",
+]

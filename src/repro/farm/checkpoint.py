@@ -1,0 +1,79 @@
+"""Frame-level checkpoint/resume for simulation jobs.
+
+A simulation is a strict frame-by-frame recurrence: every frame's result
+depends on the framebuffer, cache, and statistics state left by the frames
+before it.  That makes mid-run sharding impossible but checkpointing easy —
+the whole :class:`~repro.gpu.pipeline.GpuSimulator` pickles cleanly, so the
+farm snapshots it at frame boundaries and an interrupted run restarts from
+the last completed frame instead of frame zero.  Because the snapshot *is*
+the complete pipeline state, a resumed run is bit-identical to an
+uninterrupted one (covered by ``tests/test_farm.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.farm.job import JobSpec
+from repro.farm.store import ArtifactStore
+from repro.gpu.pipeline import SimulationResult
+from repro.workloads.generator import GameWorkload
+
+
+def build_job_workload(job: JobSpec) -> GameWorkload:
+    """Construct the workload a job measures, honoring its seed override."""
+    from repro.workloads.registry import workload as lookup
+
+    spec = lookup(job.workload)
+    if job.seed is not None:
+        spec = dataclasses.replace(spec, seed=job.seed)
+    return GameWorkload(spec, sim=job.sim_profile)
+
+
+def run_checkpointed(
+    job: JobSpec,
+    store: ArtifactStore | None,
+    checkpoint_every: int = 1,
+    on_frame=None,
+) -> SimulationResult:
+    """Execute a sim/geometry job, checkpointing every N completed frames.
+
+    With a store, an existing checkpoint for this job key is loaded and the
+    trace replay skips the frames it already contains.  The checkpoint is
+    deleted once the run completes (the artifact supersedes it).
+    ``on_frame`` is an extra per-frame hook the tests use to inject
+    interrupts.
+    """
+    workload = build_job_workload(job)
+    checkpointing = store is not None and checkpoint_every > 0
+
+    sim = store.load_checkpoint(job) if checkpointing else None
+    resume = sim is not None
+    if sim is None:
+        sim = workload.simulator(job.config)
+
+    if sim.frames_completed >= job.frames:
+        result = sim.result()
+    else:
+
+        def hook(simulator, frames_done: int) -> None:
+            if (
+                checkpointing
+                and frames_done < job.frames
+                and frames_done % checkpoint_every == 0
+            ):
+                store.save_checkpoint(job, simulator)
+            if on_frame is not None:
+                on_frame(simulator, frames_done)
+
+        result = sim.run_trace(
+            workload.trace(frames=job.frames),
+            max_frames=job.frames,
+            fragment_stages=job.fragment_stages,
+            resume=resume,
+            on_frame=hook,
+        )
+
+    if checkpointing:
+        store.clear_checkpoint(job)
+    return result

@@ -1,0 +1,272 @@
+"""Job scheduler: shard measurement runs across worker processes.
+
+Execution policy, in order:
+
+1. **Cache probe** — jobs whose artifact is already on disk are satisfied
+   without running anything.
+2. **Parallel execution** — remaining jobs are sharded across a
+   ``ProcessPoolExecutor`` (``--jobs N``, default ``os.cpu_count()``).
+   Every job runs in its own process with a fresh simulator, so parallel
+   results are bit-identical to serial ones.
+3. **Crash/timeout recovery** — a worker crash breaks the whole pool, so
+   the round's unfinished jobs are requeued into a fresh pool; after
+   ``retries`` broken rounds a job falls back to serial in-parent
+   execution.  A per-job timeout kills the pool's workers and requeues the
+   same way.  Exceptions *raised* by a job (as opposed to crashes) are
+   deterministic and surface immediately as :class:`FarmError`.
+4. **Serial fallback** — if the pool cannot be created at all (restricted
+   environments), or ``jobs=1``, everything runs in-process.
+
+Workers both persist their artifact and return it, so a completed job's
+work survives even if the parent dies while collecting results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.farm.checkpoint import build_job_workload, run_checkpointed
+from repro.farm.job import JobSpec
+from repro.farm.store import ArtifactStore
+from repro.farm.telemetry import FarmTelemetry
+
+
+class FarmError(RuntimeError):
+    """A job failed permanently (exhausted retries and fallback)."""
+
+
+@dataclass
+class JobOutcome:
+    """Worker return envelope: the artifact plus execution telemetry."""
+
+    result: Any
+    wall_s: float
+    from_cache: bool = False
+
+
+def run_job(
+    job: JobSpec, cache_dir: str | None = None, checkpoint_every: int = 1
+) -> JobOutcome:
+    """Compute one job end-to-end (the worker-process entry point).
+
+    Probes the cache first so retried or restarted workers never redo
+    finished work, and persists the artifact before returning so the result
+    survives a parent crash.
+    """
+    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+    if store is not None:
+        cached = store.load(job)
+        if cached is not None:
+            return JobOutcome(cached, 0.0, from_cache=True)
+    start = time.perf_counter()
+    if job.kind == "api":
+        workload = build_job_workload(job)
+        result = workload.api_stats(frames=job.frames)
+    else:
+        result = run_checkpointed(job, store, checkpoint_every)
+    wall_s = time.perf_counter() - start
+    if store is not None:
+        try:
+            store.save(job, result, wall_s=wall_s)
+        except OSError:
+            pass  # read-only cache dir: the computation still succeeded
+    return JobOutcome(result, wall_s)
+
+
+class Farm:
+    """Runs batches of :class:`JobSpec` through cache, pool, and fallback."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        jobs: int | None = None,
+        use_cache: bool = True,
+        retries: int = 2,
+        timeout: float | None = None,
+        checkpoint_every: int = 1,
+        telemetry: FarmTelemetry | None = None,
+    ):
+        self.store = store if store is not None else ArtifactStore()
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        self.use_cache = use_cache
+        self.retries = max(1, int(retries))
+        self.timeout = timeout
+        self.checkpoint_every = checkpoint_every
+        self.telemetry = telemetry if telemetry is not None else FarmTelemetry()
+
+    @property
+    def cache_dir(self) -> str | None:
+        """Store root handed to workers; ``None`` disables caching."""
+        return str(self.store.root) if self.use_cache else None
+
+    # -- public API -----------------------------------------------------
+    def run_one(self, job: JobSpec, worker: Callable = run_job) -> Any:
+        return self.run([job], worker=worker)[job]
+
+    def run(
+        self, jobs: list[JobSpec], worker: Callable = run_job
+    ) -> dict[JobSpec, Any]:
+        """Execute ``jobs`` (deduplicated) and return ``{job: result}``."""
+        results: dict[JobSpec, Any] = {}
+        pending: list[JobSpec] = []
+        for job in jobs:
+            if job in results or job in pending:
+                continue
+            if self.use_cache:
+                start = time.perf_counter()
+                cached = self.store.load(job)
+                if cached is not None:
+                    results[job] = cached
+                    self.telemetry.record(
+                        job.describe(),
+                        job.key(),
+                        "cache",
+                        time.perf_counter() - start,
+                    )
+                    continue
+            pending.append(job)
+
+        if not pending:
+            return results
+        if self.jobs <= 1 or len(pending) == 1:
+            self._run_serial(pending, worker, results, source="serial")
+        else:
+            self._run_parallel(pending, worker, results)
+        return results
+
+    # -- execution strategies -------------------------------------------
+    def _harvest(
+        self,
+        job: JobSpec,
+        outcome: Any,
+        results: dict,
+        source: str,
+        attempts: int,
+        parent_wall: float,
+    ) -> None:
+        if isinstance(outcome, JobOutcome):
+            wall = outcome.wall_s if not outcome.from_cache else parent_wall
+            if outcome.from_cache:
+                source = "cache"
+            results[job] = outcome.result
+        else:  # custom worker returning a bare value
+            wall = parent_wall
+            results[job] = outcome
+        self.telemetry.record(job.describe(), job.key(), source, wall, attempts)
+
+    def _run_serial(
+        self,
+        batch: list[JobSpec],
+        worker: Callable,
+        results: dict,
+        source: str,
+        attempts: dict[JobSpec, int] | None = None,
+    ) -> None:
+        for job in batch:
+            start = time.perf_counter()
+            outcome = worker(job, self.cache_dir, self.checkpoint_every)
+            self._harvest(
+                job,
+                outcome,
+                results,
+                source,
+                (attempts or {}).get(job, 0) + 1,
+                time.perf_counter() - start,
+            )
+
+    def _run_parallel(
+        self, batch: list[JobSpec], worker: Callable, results: dict
+    ) -> None:
+        attempts = dict.fromkeys(batch, 0)
+        remaining = list(batch)
+        fallback: list[JobSpec] = []
+        while remaining:
+            round_jobs, remaining = remaining, []
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(round_jobs))
+                )
+            except (OSError, ValueError):  # no multiprocessing available
+                fallback.extend(round_jobs)
+                break
+            broken = False
+            try:
+                futures = [
+                    (
+                        job,
+                        pool.submit(
+                            worker, job, self.cache_dir, self.checkpoint_every
+                        ),
+                    )
+                    for job in round_jobs
+                ]
+                for job, future in futures:
+                    start = time.perf_counter()
+                    try:
+                        outcome = future.result(
+                            timeout=0 if broken else self.timeout
+                        )
+                    except FutureTimeout:
+                        broken = True
+                        self._kill_workers(pool)
+                        self._requeue(job, attempts, remaining, fallback)
+                    except (BrokenProcessPool, CancelledError):
+                        broken = True
+                        self._requeue(job, attempts, remaining, fallback)
+                    except KeyboardInterrupt:
+                        self._kill_workers(pool)
+                        raise
+                    except Exception as exc:
+                        raise FarmError(
+                            f"job {job.describe()} raised "
+                            f"{type(exc).__name__}: {exc}"
+                        ) from exc
+                    else:
+                        attempts[job] += 1
+                        self._harvest(
+                            job,
+                            outcome,
+                            results,
+                            "parallel",
+                            attempts[job],
+                            time.perf_counter() - start,
+                        )
+            finally:
+                pool.shutdown(wait=not broken, cancel_futures=True)
+        if fallback:
+            try:
+                self._run_serial(
+                    fallback, worker, results, "fallback", attempts
+                )
+            except Exception as exc:
+                raise FarmError(
+                    f"{len(fallback)} job(s) failed after {self.retries} "
+                    f"pool attempts and a serial fallback"
+                ) from exc
+
+    def _requeue(
+        self,
+        job: JobSpec,
+        attempts: dict[JobSpec, int],
+        remaining: list[JobSpec],
+        fallback: list[JobSpec],
+    ) -> None:
+        attempts[job] += 1
+        if attempts[job] >= self.retries:
+            fallback.append(job)
+        else:
+            remaining.append(job)
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        for proc in (getattr(pool, "_processes", None) or {}).values():
+            try:
+                proc.kill()
+            except OSError:
+                pass

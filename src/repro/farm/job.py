@@ -1,0 +1,119 @@
+"""Content-addressed description of one measurement run.
+
+A :class:`JobSpec` captures everything that determines a run's output:
+the measurement kind, the workload, the frame budget, the seed, and any
+GPU-configuration override.  Its :meth:`~JobSpec.key` folds those together
+with the registered workload spec (so recalibrating an engine invalidates
+its artifacts) and the source-tree fingerprint (so code changes do too)
+into the hash the artifact store files results under.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.farm.version import code_version
+from repro.gpu.config import GpuConfig
+
+#: The three measurement kinds every exhibit bottoms out in.
+KINDS = ("api", "sim", "geometry")
+
+
+def _canonical(value):
+    """JSON-serializable canonical form of specs/configs for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, float):
+        return repr(value)
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One measurement run: hashable, picklable, and cheap to construct.
+
+    ``seed=None`` uses the workload's registered seed; an explicit value
+    overrides it (and lands in the cache key).  ``config=None`` uses the
+    workload's default simulator configuration.
+    """
+
+    kind: str  # "api" | "sim" | "geometry"
+    workload: str
+    frames: int
+    seed: int | None = None
+    config: GpuConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.frames <= 0:
+            raise ValueError("frame budget must be positive")
+
+    @property
+    def fragment_stages(self) -> bool:
+        return self.kind != "geometry"
+
+    @property
+    def sim_profile(self) -> bool:
+        return self.kind in ("sim", "geometry")
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.workload}@{self.frames}f"
+
+    def fingerprint(self) -> dict:
+        """The full invalidation surface, as a canonical document."""
+        from repro.workloads.registry import workload as lookup
+
+        spec = lookup(self.workload)
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "frames": self.frames,
+            "seed": self.seed if self.seed is not None else spec.seed,
+            "spec": _canonical(spec),
+            "config": _canonical(self.config) if self.config else "default",
+            "code": code_version(),
+        }
+
+    def key(self) -> str:
+        """Content hash the artifact store files this job's result under."""
+        blob = json.dumps(self.fingerprint(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def api_job(workload: str, frames: int, seed: int | None = None) -> JobSpec:
+    """Full-profile API-statistics run (Tables III-V, XII; Figs. 1-3, 8)."""
+    return JobSpec("api", workload, frames, seed=seed)
+
+
+def sim_job(
+    workload: str,
+    frames: int,
+    seed: int | None = None,
+    config: GpuConfig | None = None,
+) -> JobSpec:
+    """Full-pipeline simulation on the reduced profile (Tables VIII-XVII)."""
+    return JobSpec("sim", workload, frames, seed=seed, config=config)
+
+
+def geometry_job(
+    workload: str,
+    frames: int,
+    seed: int | None = None,
+    config: GpuConfig | None = None,
+) -> JobSpec:
+    """Geometry-only simulation over more frames (Table VII, Figs. 5-6)."""
+    return JobSpec("geometry", workload, frames, seed=seed, config=config)

@@ -1,0 +1,170 @@
+"""Persistent, content-addressed artifact store for measurement results.
+
+Layout under the cache root (``.repro-cache/`` by default,
+``REPRO_CACHE_DIR`` override)::
+
+    artifacts/<key>.pkl     pickled WorkloadApiStats / SimulationResult
+    artifacts/<key>.json    metadata sidecar (job, wall time, code version)
+    checkpoints/<key>.ckpt  pickled mid-run simulator state (sim jobs)
+
+Writes are atomic (temp file + ``os.replace``) so a killed process never
+leaves a half-written artifact, and keys embed the full invalidation
+surface (see :meth:`repro.farm.job.JobSpec.key`), so a load either returns
+the exact result the job would recompute or nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+import time
+from typing import Any
+
+from repro.farm.job import JobSpec
+from repro.farm.version import code_version
+
+#: Default cache directory name, relative to the current working directory.
+DEFAULT_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache root: ``REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    return pathlib.Path(override) if override else pathlib.Path(DEFAULT_DIRNAME)
+
+
+def _atomic_write(path: pathlib.Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ArtifactStore:
+    """Disk cache keyed by job content hash, with hit/miss accounting."""
+
+    def __init__(self, root: pathlib.Path | str | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def artifact_dir(self) -> pathlib.Path:
+        return self.root / "artifacts"
+
+    @property
+    def checkpoint_dir(self) -> pathlib.Path:
+        return self.root / "checkpoints"
+
+    def artifact_path(self, job: JobSpec) -> pathlib.Path:
+        return self.artifact_dir / f"{job.key()}.pkl"
+
+    def meta_path(self, job: JobSpec) -> pathlib.Path:
+        return self.artifact_dir / f"{job.key()}.json"
+
+    def checkpoint_path(self, job: JobSpec) -> pathlib.Path:
+        return self.checkpoint_dir / f"{job.key()}.ckpt"
+
+    # -- artifacts ------------------------------------------------------
+    def load(self, job: JobSpec) -> Any | None:
+        """The stored result for ``job``, or ``None`` on miss/corruption."""
+        path = self.artifact_path(job)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, job: JobSpec, result: Any, wall_s: float | None = None) -> None:
+        _atomic_write(
+            self.artifact_path(job), pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        meta = {
+            "key": job.key(),
+            "kind": job.kind,
+            "workload": job.workload,
+            "frames": job.frames,
+            "seed": job.seed,
+            "wall_s": wall_s,
+            "code": code_version(),
+            "created": time.time(),
+        }
+        _atomic_write(self.meta_path(job), json.dumps(meta, indent=1).encode())
+
+    def contains(self, job: JobSpec) -> bool:
+        return self.artifact_path(job).exists()
+
+    # -- checkpoints ----------------------------------------------------
+    def load_checkpoint(self, job: JobSpec) -> Any | None:
+        path = self.checkpoint_path(job)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def save_checkpoint(self, job: JobSpec, state: Any) -> None:
+        _atomic_write(
+            self.checkpoint_path(job),
+            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def clear_checkpoint(self, job: JobSpec) -> None:
+        try:
+            self.checkpoint_path(job).unlink()
+        except OSError:
+            pass
+
+    # -- inspection / maintenance ---------------------------------------
+    def entries(self) -> list[dict]:
+        """Metadata for every stored artifact, newest first."""
+        metas: list[dict] = []
+        if not self.artifact_dir.is_dir():
+            return metas
+        for path in self.artifact_dir.glob("*.json"):
+            try:
+                meta = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            pkl = path.with_suffix(".pkl")
+            meta["bytes"] = pkl.stat().st_size if pkl.exists() else 0
+            metas.append(meta)
+        metas.sort(key=lambda m: m.get("created") or 0, reverse=True)
+        return metas
+
+    def checkpoints(self) -> list[pathlib.Path]:
+        if not self.checkpoint_dir.is_dir():
+            return []
+        return sorted(self.checkpoint_dir.glob("*.ckpt"))
+
+    def total_bytes(self) -> int:
+        return sum(m["bytes"] for m in self.entries())
+
+    def clear(self) -> int:
+        """Delete every artifact and checkpoint; returns files removed."""
+        removed = 0
+        for directory in (self.artifact_dir, self.checkpoint_dir):
+            if not directory.is_dir():
+                continue
+            for path in directory.iterdir():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

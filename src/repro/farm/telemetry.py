@@ -1,0 +1,64 @@
+"""Per-job wall-time and cache accounting for farm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class JobRecord:
+    """How one job was satisfied."""
+
+    job: str  # JobSpec.describe()
+    key: str
+    source: str  # "cache" | "parallel" | "serial" | "fallback"
+    wall_s: float
+    attempts: int = 1
+
+
+@dataclass
+class FarmTelemetry:
+    """Aggregated over one farm invocation (or one Runner lifetime)."""
+
+    records: list[JobRecord] = field(default_factory=list)
+
+    def record(
+        self, job, key: str, source: str, wall_s: float, attempts: int = 1
+    ) -> None:
+        self.records.append(JobRecord(job, key, source, wall_s, attempts))
+
+    # -- counters -------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "cache")
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.records) - self.cache_hits
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.records)
+
+    @property
+    def retries(self) -> int:
+        return sum(r.attempts - 1 for r in self.records)
+
+    # -- rendering ------------------------------------------------------
+    def summary_line(self) -> str:
+        return (
+            f"farm: {len(self.records)} jobs, {self.cache_hits} cache hits, "
+            f"{self.cache_misses} executed, {self.retries} retries, "
+            f"{self.total_wall_s:.1f}s job wall time"
+        )
+
+    def summary_table(self, title: str = "Farm job summary") -> str:
+        rows = [
+            [r.job, r.key[:12], r.source, f"{r.wall_s:.2f}", r.attempts]
+            for r in self.records
+        ]
+        return format_table(
+            ["job", "key", "source", "wall s", "attempts"], rows, title=title
+        )

@@ -1,0 +1,30 @@
+"""Source-tree fingerprint used to invalidate cached artifacts.
+
+A cached measurement is only reusable if the code that produced it still
+behaves identically, and "did the simulator change?" is undecidable in
+general — so the farm takes the conservative fingerprint: a digest over the
+contents of every ``repro`` source file.  Any edit anywhere in the package
+flushes the cache, which costs one cold run and can never serve a stale
+number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Hex digest over every ``.py`` file in the ``repro`` package."""
+    import repro
+
+    root = pathlib.Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]

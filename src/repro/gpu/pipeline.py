@@ -93,12 +93,19 @@ class GpuSimulator:
         self.frame_stats: list[FrameGpuStats] = []
 
     # -- public API -----------------------------------------------------
+    @property
+    def frames_completed(self) -> int:
+        """Frames fully simulated so far (the resume point)."""
+        return len(self.frame_stats)
+
     def run_trace(
         self,
         trace: Trace,
         max_frames: int | None = None,
         fragment_stages: bool = True,
         keep_images: int = 0,
+        resume: bool = False,
+        on_frame=None,
     ) -> SimulationResult:
         """Simulate ``trace`` (optionally truncated) and return the results.
 
@@ -106,14 +113,35 @@ class GpuSimulator:
         mode for the per-frame vertex-cache and clip/cull statistics (Figs. 5
         and 6) over long timedemos.  ``keep_images`` retains the color buffer
         of the first N frames.
+
+        ``resume=True`` skips the first :attr:`frames_completed` frames of
+        the trace, continuing a simulator restored from a checkpoint: all
+        pipeline state (framebuffer, caches, statistics, state machine) for
+        the skipped frames is already present, so the merged result is
+        identical to an uninterrupted run.  ``on_frame(sim, n)`` is invoked
+        after each completed frame — the farm's checkpoint hook.
         """
         images: list[np.ndarray] = []
+        skip = self.frames_completed if resume else 0
         for frame in trace.frames():
-            if max_frames is not None and len(self.frame_stats) >= max_frames:
+            if skip > 0:
+                skip -= 1
+                continue
+            if max_frames is not None and self.frames_completed >= max_frames:
                 break
             self.run_frame(frame, fragment_stages=fragment_stages)
             if len(images) < keep_images:
                 images.append(self.fb.color_image())
+            if on_frame is not None:
+                on_frame(self, self.frames_completed)
+        return self.result(images=images)
+
+    def result(self, images: list[np.ndarray] | None = None) -> SimulationResult:
+        """Merge the accumulated pipeline state into a SimulationResult.
+
+        Valid at any frame boundary, which is what lets a checkpointed run
+        hand back a result without re-walking the trace.
+        """
         return SimulationResult(
             stats=self.stats,
             frame_stats=self.frame_stats,
@@ -125,7 +153,7 @@ class GpuSimulator:
                 "texture_l1": self.texture_unit.l1,
             },
             config=self.config,
-            images=images,
+            images=images or [],
         )
 
     def run_frame(self, frame: Frame, fragment_stages: bool = True) -> FrameGpuStats:
