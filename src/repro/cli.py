@@ -10,6 +10,7 @@ Subcommands
 ``tables``        regenerate paper tables (all or selected) into a directory
 ``figures``       regenerate paper figures (text + CSV) into a directory
 ``scorecard``     regenerate EXPERIMENTS.md (measured vs paper)
+``bench``         pipeline throughput benchmark (writes BENCH_pipeline.json)
 ``farm``          inspect (``status``) or empty (``clear``) the artifact cache
 
 The measurement-heavy commands (``tables``, ``figures``, ``scorecard``,
@@ -173,6 +174,41 @@ def _add_farm_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_measurement_flags(
+    parser: argparse.ArgumentParser,
+    api_frames: int,
+    sim_frames: int,
+    geometry_frames: int,
+) -> None:
+    """The unified measurement interface: ``--frames`` + farm flags.
+
+    ``--frames`` sets every kind's budget at once; the per-kind flags
+    refine individual kinds and win over ``--frames`` when both are given.
+    """
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="frame budget for every measurement kind "
+        "(per-kind flags below override)",
+    )
+    parser.add_argument("--api-frames", type=int, default=None)
+    parser.add_argument("--sim-frames", type=int, default=None)
+    parser.add_argument("--geometry-frames", type=int, default=None)
+    parser.set_defaults(
+        _frame_defaults=(api_frames, sim_frames, geometry_frames)
+    )
+    _add_farm_flags(parser)
+
+
+def _budget(args, per_kind_value: int | None, default: int) -> int:
+    if per_kind_value is not None:
+        return per_kind_value
+    if args.frames is not None:
+        return args.frames
+    return default
+
+
 def _resolve_jobs(args) -> int:
     jobs = getattr(args, "jobs", None)
     return jobs if jobs else (os.cpu_count() or 1)
@@ -185,11 +221,12 @@ def _make_store(args):
 
 
 def _make_runner(args) -> Runner:
+    api_default, sim_default, geometry_default = args._frame_defaults
     return Runner(
         ExperimentConfig(
-            api_frames=args.api_frames,
-            sim_frames=args.sim_frames,
-            geometry_frames=args.geometry_frames,
+            api_frames=_budget(args, args.api_frames, api_default),
+            sim_frames=_budget(args, args.sim_frames, sim_default),
+            geometry_frames=_budget(args, args.geometry_frames, geometry_default),
         ),
         jobs=_resolve_jobs(args),
         use_cache=not args.no_cache,
@@ -302,6 +339,43 @@ def _cmd_scorecard(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.experiments.bench import (
+        DEFAULT_WORKLOAD,
+        bench_pipeline,
+        write_bench,
+    )
+
+    doc = bench_pipeline(
+        workload=args.workload or DEFAULT_WORKLOAD,
+        frames=args.frames,
+        farm_frames=args.farm_frames,
+        jobs=args.jobs,
+        include_farm=not args.skip_farm,
+        repeats=args.repeats,
+    )
+    out = write_bench(doc, args.out)
+    speedup = doc["speedup"]["fragments_per_s"]
+    print(
+        f"wrote {out}: QuadStream {speedup:.2f}x fragments/s "
+        f"({doc['quadstream']['seconds']}s vs "
+        f"{doc['per_triangle']['seconds']}s per-triangle)"
+    )
+    if "farm" in doc:
+        print(
+            f"farm: {doc['farm']['speedup']:.2f}x with {doc['farm']['jobs']} "
+            f"jobs over {len(doc['farm']['workloads'])} workloads"
+        )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_farm(args) -> int:
     store = _make_store(args)
     if args.action == "clear":
@@ -389,10 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         "scorecard", help="regenerate EXPERIMENTS.md (measured vs paper)"
     )
     p.add_argument("--output", default="EXPERIMENTS.md")
-    p.add_argument("--api-frames", type=int, default=120)
-    p.add_argument("--sim-frames", type=int, default=6)
-    p.add_argument("--geometry-frames", type=int, default=60)
-    _add_farm_flags(p)
+    _add_measurement_flags(p, api_frames=120, sim_frames=6, geometry_frames=60)
     p.set_defaults(func=_cmd_scorecard)
 
     for name, func, help_text in (
@@ -402,11 +473,34 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--out-dir", default="results")
         p.add_argument("--only", nargs="*", help="subset, e.g. table3 table9")
-        p.add_argument("--api-frames", type=int, default=120)
-        p.add_argument("--sim-frames", type=int, default=4)
-        p.add_argument("--geometry-frames", type=int, default=60)
-        _add_farm_flags(p)
+        _add_measurement_flags(
+            p, api_frames=120, sim_frames=4, geometry_frames=60
+        )
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "bench", help="pipeline throughput benchmark (BENCH_pipeline.json)"
+    )
+    p.add_argument("--workload", default=None, help="benchmark workload")
+    p.add_argument("--frames", type=int, default=1)
+    p.add_argument("--farm-frames", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=3, help="parallel farm width")
+    p.add_argument("--skip-farm", action="store_true")
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per path (the fastest run is kept)",
+    )
+    p.add_argument("--out", default="BENCH_pipeline.json")
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if QuadStream fragments/s falls below this "
+        "multiple of the per-triangle path",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("farm", help="inspect or clear the artifact cache")
     p.add_argument("action", choices=["status", "clear"])

@@ -19,11 +19,13 @@ never serve results computed under another one.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.api.stats import WorkloadApiStats
 from repro.farm import Farm, JobSpec
+from repro.gpu.config import GpuConfig
 from repro.gpu.pipeline import SimulationResult
 from repro.workloads import build_workload
 from repro.workloads.generator import GameWorkload
@@ -121,6 +123,49 @@ class Runner:
         """Geometry-only simulation over more frames (Table VII, Figs. 5-6)."""
         return self._get(self._job("geometry", name))
 
+    def simulate(
+        self,
+        workload: str | GameWorkload,
+        config: GpuConfig | None = None,
+        frames: int | None = None,
+    ) -> SimulationResult:
+        """Full-pipeline simulation with optional config/frame overrides.
+
+        ``workload`` is a registry name (``"Doom3/trdemo2"``) or a built
+        :class:`GameWorkload`.  Overrides land in the farm's cache key, so a
+        non-default run can never be served a default run's artifact.
+        """
+        name = workload if isinstance(workload, str) else workload.name
+        job = JobSpec(
+            "sim",
+            name,
+            frames if frames is not None else self.config.sim_frames,
+            config=config,
+        )
+        return self._get(job)
+
+    def api_stats(
+        self, workload: str | GameWorkload, frames: int | None = None
+    ) -> WorkloadApiStats:
+        """API statistics with an optional frame override (see :meth:`api`)."""
+        name = workload if isinstance(workload, str) else workload.name
+        job = JobSpec(
+            "api",
+            name,
+            frames if frames is not None else self.config.api_frames,
+        )
+        return self._get(job)
+
+    def simulation(self, *args, **kwargs) -> SimulationResult:
+        """Deprecated spelling of :meth:`simulate` (kept for one release)."""
+        warnings.warn(
+            "Runner.simulation(...) is deprecated; use Runner.simulate(...) "
+            "or the repro.simulate(...) facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.simulate(*args, **kwargs)
+
     def prefetch(
         self,
         api_names: list[str] | None = None,
@@ -174,3 +219,36 @@ def default_runner() -> Runner:
         jobs = _env_int("REPRO_FARM_JOBS", 0) or (os.cpu_count() or 1)
         _DEFAULT = Runner(config, jobs=jobs)
     return _DEFAULT
+
+
+def simulate(
+    workload: str | GameWorkload,
+    config: GpuConfig | None = None,
+    frames: int | None = None,
+) -> SimulationResult:
+    """Simulate a workload through the farm — the stable public entry point.
+
+    ::
+
+        import repro
+        result = repro.simulate("Doom3/trdemo2", frames=6)
+        print(result.stats.quad_fate_percent)
+
+    Routes through the shared :func:`default_runner`, so results are cached
+    (in-process and in the on-disk artifact store) and parallel-safe; pass a
+    :class:`~repro.gpu.config.GpuConfig` to override the machine model.
+    """
+    return default_runner().simulate(workload, config=config, frames=frames)
+
+
+def api_stats(
+    workload: str | GameWorkload, frames: int | None = None
+) -> WorkloadApiStats:
+    """API-level statistics for a workload, through the farm.
+
+    ::
+
+        import repro
+        stats = repro.api_stats("UT2004/Primeval", frames=60)
+    """
+    return default_runner().api_stats(workload, frames=frames)

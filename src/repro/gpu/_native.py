@@ -1,0 +1,595 @@
+"""Optional C-accelerated LRU kernel for :class:`repro.gpu.caches.Cache`.
+
+The pure-Python loop in ``caches.py`` remains the reference implementation;
+this module compiles the exact same set-associative LRU walk to a tiny
+shared object with the system C compiler and loads it through :mod:`ctypes`.
+Draw-level QuadStream batching hands the cache model reference streams of
+millions of lines per call, where the interpreted loop dominates the whole
+simulator — the kernel removes that floor without changing a single counter.
+
+The accelerator is strictly optional:
+
+* no C compiler, a failed build, or ``REPRO_NO_NATIVE=1`` in the
+  environment all fall back silently to the Python loop;
+* the compiled object is cached (keyed by a hash of the C source) under the
+  package's ``_build`` directory when writable, else the system temp dir,
+  so the one-time ``cc`` cost is paid once per machine, not per process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import pathlib
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+#: Reference semantics (mirrors ``Cache.access_line``): per set, entries are
+#: kept most-recently-used first; a hit moves the line to the front and ORs
+#: the dirty bit with the write flag; a miss records the line, evicts the
+#: least-recently-used entry of a full set (reporting its byte address when
+#: dirty) and inserts the new line at the front with dirty = write flag.
+_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+/* write_mode: 0 = all reads, 1 = all writes, 2 = per-reference flags[].
+   lines/dirty hold nsets*ways slots, MRU-first per set; sizes[nsets].
+   counts[0] = hits, counts[1] = misses, counts[2] = dirty evictions. */
+void lru_run(const i64 *stream, i64 n, int write_mode, const uint8_t *flags,
+             i64 *lines, uint8_t *dirty, i64 *sizes,
+             i64 nsets, i64 ways, i64 line_bytes,
+             i64 *miss_lines, i64 *evictions, i64 *counts)
+{
+    i64 hits = 0, nm = 0, ne = 0;
+    for (i64 k = 0; k < n; k++) {
+        i64 line = stream[k];
+        uint8_t wr = write_mode == 2 ? flags[k] : (uint8_t)write_mode;
+        i64 s = nsets > 1 ? line % nsets : 0;
+        i64 *L = lines + s * ways;
+        uint8_t *D = dirty + s * ways;
+        i64 size = sizes[s];
+        i64 pos = -1;
+        for (i64 i = 0; i < size; i++) {
+            if (L[i] == line) { pos = i; break; }
+        }
+        if (pos >= 0) {
+            uint8_t d = D[pos] | wr;
+            hits++;
+            memmove(L + 1, L, pos * sizeof(i64));
+            memmove(D + 1, D, pos * sizeof(uint8_t));
+            L[0] = line;
+            D[0] = d;
+        } else {
+            miss_lines[nm++] = line;
+            if (size >= ways) {
+                if (D[size - 1]) evictions[ne++] = L[size - 1] * line_bytes;
+                size--;
+            }
+            memmove(L + 1, L, size * sizeof(i64));
+            memmove(D + 1, D, size * sizeof(uint8_t));
+            L[0] = line;
+            D[0] = wr;
+            sizes[s] = size + 1;
+        }
+    }
+    counts[0] = hits;
+    counts[1] = nm;
+    counts[2] = ne;
+}
+
+/* Spread the low 16 bits of x into the even bit slots (Morton helper;
+   mirrors repro.util.morton's lookup-table construction). */
+static uint64_t part16(uint64_t x)
+{
+    x &= 0xFFFFu;
+    x = (x | (x << 8)) & 0x00FF00FFu;
+    x = (x | (x << 4)) & 0x0F0F0F0Fu;
+    x = (x | (x << 2)) & 0x33333333u;
+    x = (x | (x << 1)) & 0x55555555u;
+    return x;
+}
+
+/* Texture probe reference-stream generation: the whole per-draw loop of
+   TextureUnit._simulate_cache in one fused pass.  Emits the L0 block
+   address stream in the model's exact order — for each probe index p,
+   for each mip step, the -0.5 footprint corner of every lane taking that
+   (p, step), then the +0.5 corner.  All float arithmetic is plain IEEE
+   double in the exact numpy evaluation order (the build must not enable
+   contraction or fast-math), so addresses are bit-identical.
+   Per sample: t in [-0.5, 0.5) along the anisotropy axis, position
+   u + t*du; level = min(mip0 + step, max_level); texels wrap at the mip
+   extents; the 4x4 block index is Morton-coded. */
+void texstream(const double *u, const double *v,
+               const double *du, const double *dv,
+               const i64 *mip0, const i64 *probes, const i64 *mips, i64 n,
+               i64 max_probes, i64 max_level, i64 width, i64 height,
+               const i64 *mip_offsets, i64 n_offsets,
+               i64 base_address, i64 block_bytes,
+               i64 *out, i64 *out_count)
+{
+    i64 pos = 0;
+    for (i64 p = 0; p < max_probes; p++) {
+        for (i64 step = 0; step < 2; step++) {
+            for (int c = 0; c < 2; c++) {
+                for (i64 i = 0; i < n; i++) {
+                    if (probes[i] <= p || mips[i] <= step) continue;
+                    double t = ((double)p + 0.5) / (double)probes[i] - 0.5;
+                    double pu = u[i] + t * du[i];
+                    double pv = v[i] + t * dv[i];
+                    i64 lvl = mip0[i] + step;
+                    if (lvl > max_level) lvl = max_level;
+                    i64 cl = lvl > 30 ? 30 : lvl;
+                    double pitch = ldexp(1.0, (int)lvl);
+                    double inv = 1.0 / pitch;
+                    double cu = c ? 0.5 * pitch : -0.5 * pitch;
+                    i64 w = width >> cl; if (w < 1) w = 1;
+                    i64 h = height >> cl; if (h < 1) h = 1;
+                    i64 oi = lvl < n_offsets - 1 ? lvl : n_offsets - 1;
+                    i64 tx = (i64)floor((pu + cu) * inv);
+                    i64 ty = (i64)floor((pv + cu) * inv);
+                    if ((w & (w - 1)) == 0) { tx &= w - 1; }
+                    else { tx %= w; if (tx < 0) tx += w; }
+                    if ((h & (h - 1)) == 0) { ty &= h - 1; }
+                    else { ty %= h; if (ty < 0) ty += h; }
+                    uint64_t m = part16((uint64_t)(tx >> 2))
+                               | (part16((uint64_t)(ty >> 2)) << 1);
+                    out[pos++] = base_address + mip_offsets[oi]
+                               + (i64)m * block_bytes;
+                }
+            }
+        }
+    }
+    *out_count = pos;
+}
+
+/* Edge evaluation + coverage for candidate quads (the hot first half of
+   _rasterize_tri_range).  Pixel centers are 2*cq + {0,1} + 0.5; an edge
+   covers a pixel when e > 0, or e == 0 on a top-left edge.  Float order
+   matches numpy: e = ((a*px) + (b*py)) + c, doubles, no contraction.
+   ea/eb/ec are (T, 3) row-major, etl likewise (bytes); es is (3, n, 4),
+   covered (n, 4). */
+void raster_edges(const i64 *cqx, const i64 *cqy, const i64 *tri, i64 n,
+                  const double *ea, const double *eb, const double *ec,
+                  const uint8_t *etl,
+                  double *es, uint8_t *covered)
+{
+    static const i64 DX[4] = {0, 1, 0, 1};
+    static const i64 DY[4] = {0, 0, 1, 1};
+    for (i64 i = 0; i < n; i++) {
+        i64 t = tri[i];
+        double px[4], py[4];
+        for (int j = 0; j < 4; j++) {
+            px[j] = (double)(cqx[i] * 2 + DX[j]) + 0.5;
+            py[j] = (double)(cqy[i] * 2 + DY[j]) + 0.5;
+        }
+        uint8_t cov[4] = {1, 1, 1, 1};
+        for (int k = 0; k < 3; k++) {
+            double a = ea[t * 3 + k];
+            double b = eb[t * 3 + k];
+            double cc = ec[t * 3 + k];
+            uint8_t tl = etl[t * 3 + k];
+            double *ek = es + (k * n + i) * 4;
+            for (int j = 0; j < 4; j++) {
+                double e = (a * px[j] + b * py[j]) + cc;
+                ek[j] = e;
+                uint8_t inside = (e > 0.0) || (tl && e == 0.0);
+                cov[j] &= inside;
+            }
+        }
+        for (int j = 0; j < 4; j++) covered[i * 4 + j] = cov[j];
+    }
+}
+
+/* Barycentric + perspective-correct attribute interpolation for the kept
+   quads (the second half of _rasterize_tri_range).  Per kept quad i
+   (candidate row keep_idx[i], triangle tk[i]) and lane j:
+   l_k = e_k * inv_area; depth = sum(l*z) clipped to [0, 1] (numpy clip
+   keeps -0.0 and NaN: only d < 0 / d > 1 reassign); 1/w interpolates
+   linearly with a 1e-12 floor; u, v and the 4 color channels interpolate
+   as (l*attr)*w sums over one_w — every product and sum in numpy's
+   association order, plain IEEE double, no contraction. */
+void raster_interp(const double *es, i64 n_cand,
+                   const i64 *keep_idx, const i64 *tk, i64 nk,
+                   const double *inv_area,
+                   const double *zs, const double *ws,
+                   const double *uvs, const double *cols,
+                   double *depth, double *uv, double *col)
+{
+    const double *e0 = es, *e1 = es + n_cand * 4, *e2 = es + 2 * n_cand * 4;
+    for (i64 i = 0; i < nk; i++) {
+        i64 ci = keep_idx[i];
+        i64 t = tk[i];
+        double ia = inv_area[t];
+        double z0 = zs[t * 3], z1 = zs[t * 3 + 1], z2 = zs[t * 3 + 2];
+        double w0 = ws[t * 3], w1 = ws[t * 3 + 1], w2 = ws[t * 3 + 2];
+        const double *uv0 = uvs + t * 6, *uv1 = uv0 + 2, *uv2 = uv0 + 4;
+        const double *c0 = cols + t * 12, *c1 = c0 + 4, *c2 = c0 + 8;
+        for (int j = 0; j < 4; j++) {
+            double l0 = e0[ci * 4 + j] * ia;
+            double l1 = e1[ci * 4 + j] * ia;
+            double l2 = e2[ci * 4 + j] * ia;
+            double d = (l0 * z0 + l1 * z1) + l2 * z2;
+            if (d < 0.0) d = 0.0; else if (d > 1.0) d = 1.0;
+            depth[i * 4 + j] = d;
+            double ow = (l0 * w0 + l1 * w1) + l2 * w2;
+            if (ow == 0.0) ow = 1e-12;
+            double nu = ((l0 * uv0[0]) * w0 + (l1 * uv1[0]) * w1)
+                      + (l2 * uv2[0]) * w2;
+            double nv = ((l0 * uv0[1]) * w0 + (l1 * uv1[1]) * w1)
+                      + (l2 * uv2[1]) * w2;
+            uv[(i * 4 + j) * 2] = nu / ow;
+            uv[(i * 4 + j) * 2 + 1] = nv / ow;
+            for (int ch = 0; ch < 4; ch++) {
+                double nc = ((l0 * c0[ch]) * w0 + (l1 * c1[ch]) * w1)
+                          + (l2 * c2[ch]) * w2;
+                col[(i * 4 + j) * 4 + ch] = nc / ow;
+            }
+        }
+    }
+}
+
+/* Hierarchical-Z refresh (Framebuffer.update_hz): per listed block,
+   recompute the max and min of its z tile.  NaN is sticky exactly as in
+   numpy's max/min reductions (v != v admits a NaN into the running
+   extreme, after which no comparison displaces it). */
+void hz_update(const double *z, i64 zw, i64 block,
+               const i64 *bx, const i64 *by, i64 n,
+               double *hz_max, double *hz_min, i64 bw)
+{
+    for (i64 k = 0; k < n; k++) {
+        const double *base = z + by[k] * block * zw + bx[k] * block;
+        double mx = base[0], mn = base[0];
+        for (i64 r = 0; r < block; r++) {
+            const double *row = base + r * zw;
+            for (i64 c = 0; c < block; c++) {
+                double v = row[c];
+                if (v > mx || v != v) mx = v;
+                if (v < mn || v != v) mn = v;
+            }
+        }
+        hz_max[by[k] * bw + bx[k]] = mx;
+        hz_min[by[k] * bw + bx[k]] = mn;
+    }
+}
+
+/* Color-block uniformity probe (Framebuffer.color_blocks_uniform): a block
+   compresses when every pixel, clipped to [0, 1], sits within half an
+   8-bit LSB of the clipped corner pixel.  The clip keeps -0.0 and NaN
+   like numpy's, and the !(d < t) test rejects NaN differences exactly as
+   numpy's max-then-compare does. */
+void blocks_uniform(const double *color, i64 cw, i64 block,
+                    const i64 *bx, const i64 *by, i64 n, uint8_t *out)
+{
+    const double thresh = 0.5 / 255.0;
+    for (i64 k = 0; k < n; k++) {
+        const double *base = color + (by[k] * block * cw + bx[k] * block) * 4;
+        double c0[4];
+        for (int ch = 0; ch < 4; ch++) {
+            double v = base[ch];
+            if (v < 0.0) v = 0.0; else if (v > 1.0) v = 1.0;
+            c0[ch] = v;
+        }
+        uint8_t uni = 1;
+        for (i64 r = 0; r < block && uni; r++) {
+            const double *row = base + r * cw * 4;
+            for (i64 c = 0; c < block * 4; c++) {
+                double v = row[c];
+                if (v < 0.0) v = 0.0; else if (v > 1.0) v = 1.0;
+                double d = fabs(v - c0[c & 3]);
+                if (!(d < thresh)) { uni = 0; break; }
+            }
+        }
+        out[k] = uni;
+    }
+}
+
+/* Bilinear texel fetch at one mip level (TextureUnit._bilinear inner
+   loop).  Weights and accumulation follow numpy's evaluation order and
+   dtype promotion exactly: texels promote to double, products associate
+   as (((c*gx)*gy)), the sum left-to-right, and the final store narrows
+   to float with round-to-nearest — colors are bit-identical. */
+void bilinear(const float *mip, i64 h, i64 w, i64 nc,
+              const double *u, const double *v, i64 n,
+              i64 level, float *out)
+{
+    double scale = ldexp(1.0, (int)level);
+    for (i64 i = 0; i < n; i++) {
+        double mu = u[i] / scale - 0.5;
+        double mv = v[i] / scale - 0.5;
+        double x0 = floor(mu), y0 = floor(mv);
+        double fx = mu - x0, fy = mv - y0;
+        double gx = 1.0 - fx, gy = 1.0 - fy;
+        i64 xi = (i64)x0, yi = (i64)y0;
+        i64 x0w = xi % w; if (x0w < 0) x0w += w;
+        i64 x1w = (xi + 1) % w; if (x1w < 0) x1w += w;
+        i64 y0w = yi % h; if (y0w < 0) y0w += h;
+        i64 y1w = (yi + 1) % h; if (y1w < 0) y1w += h;
+        const float *p00 = mip + (y0w * w + x0w) * nc;
+        const float *p10 = mip + (y0w * w + x1w) * nc;
+        const float *p01 = mip + (y1w * w + x0w) * nc;
+        const float *p11 = mip + (y1w * w + x1w) * nc;
+        for (i64 ch = 0; ch < nc; ch++) {
+            double a = ((double)p00[ch] * gx) * gy;
+            double b = ((double)p10[ch] * fx) * gy;
+            double cc = ((double)p01[ch] * gx) * fy;
+            double d = ((double)p11[ch] * fx) * fy;
+            out[i * nc + ch] = (float)(((a + b) + cc) + d);
+        }
+    }
+}
+"""
+
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+_I64P = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+_U8P = np.ctypeslib.ndpointer(np.uint8, flags="C_CONTIGUOUS")
+_F64P = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+_F32P = np.ctypeslib.ndpointer(np.float32, flags="C_CONTIGUOUS")
+
+
+def _cache_dirs() -> list[pathlib.Path]:
+    dirs = []
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        dirs.append(pathlib.Path(override))
+    dirs.append(pathlib.Path(__file__).resolve().parent / "_build")
+    dirs.append(pathlib.Path(tempfile.gettempdir()) / "repro-native")
+    return dirs
+
+
+def _compile(so_path: pathlib.Path) -> bool:
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        return False
+    try:
+        so_path.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=so_path.parent) as tmp:
+            src = pathlib.Path(tmp) / "lru.c"
+            src.write_text(_SOURCE)
+            out = pathlib.Path(tmp) / "lru.so"
+            # -ffp-contract=off: the float kernels promise numpy's exact
+            # IEEE results, so the compiler must not fuse multiply-adds.
+            subprocess.run(
+                [
+                    cc, "-O2", "-ffp-contract=off", "-shared", "-fPIC",
+                    str(src), "-o", str(out), "-lm",
+                ],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            # Atomic publish: concurrent farm workers may race to build.
+            os.replace(out, so_path)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+def _load() -> ctypes.CDLL | None:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    name = f"lru-{digest}.so"
+    for directory in _cache_dirs():
+        so_path = directory / name
+        if not so_path.exists() and not _compile(so_path):
+            continue
+        try:
+            lib = ctypes.CDLL(str(so_path))
+        except OSError:
+            continue
+        lib.lru_run.restype = None
+        lib.lru_run.argtypes = [
+            _I64P, ctypes.c_int64, ctypes.c_int, ctypes.c_void_p,
+            _I64P, _U8P, _I64P,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _I64P, _I64P,
+        ]
+        lib.texstream.restype = None
+        lib.texstream.argtypes = [
+            _F64P, _F64P, _F64P, _F64P,
+            _I64P, _I64P, _I64P, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64P, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64,
+            _I64P, _I64P,
+        ]
+        lib.raster_edges.restype = None
+        lib.raster_edges.argtypes = [
+            _I64P, _I64P, _I64P, ctypes.c_int64,
+            _F64P, _F64P, _F64P, _U8P,
+            _F64P, _U8P,
+        ]
+        lib.raster_interp.restype = None
+        lib.raster_interp.argtypes = [
+            _F64P, ctypes.c_int64,
+            _I64P, _I64P, ctypes.c_int64,
+            _F64P,
+            _F64P, _F64P, _F64P, _F64P,
+            _F64P, _F64P, _F64P,
+        ]
+        lib.hz_update.restype = None
+        lib.hz_update.argtypes = [
+            _F64P, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _I64P, ctypes.c_int64,
+            _F64P, _F64P, ctypes.c_int64,
+        ]
+        lib.blocks_uniform.restype = None
+        lib.blocks_uniform.argtypes = [
+            _F64P, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _I64P, ctypes.c_int64, _U8P,
+        ]
+        lib.bilinear.restype = None
+        lib.bilinear.argtypes = [
+            _F32P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _F64P, _F64P, ctypes.c_int64,
+            ctypes.c_int64, _F32P,
+        ]
+        return lib
+    return None
+
+
+def available() -> bool:
+    """Whether the compiled kernel can be used (lazy one-time build)."""
+    global _lib, _tried
+    if not _tried:
+        _tried = True
+        if os.environ.get("REPRO_NO_NATIVE"):
+            _lib = None
+        else:
+            _lib = _load()
+    return _lib is not None
+
+
+def lru_run(
+    stream: np.ndarray,
+    write_mode: int,
+    flags: np.ndarray | None,
+    lines: np.ndarray,
+    dirty: np.ndarray,
+    sizes: np.ndarray,
+    nsets: int,
+    ways: int,
+    line_bytes: int,
+    miss_buf: np.ndarray,
+    evict_buf: np.ndarray,
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Run the kernel in place over ``lines``/``dirty``/``sizes``.
+
+    Returns ``(hits, miss_lines, dirty_eviction_addrs)``; the state arrays
+    are updated to the post-stream LRU contents.  ``miss_buf``/``evict_buf``
+    are caller-owned scratch arrays of at least ``len(stream)`` entries; the
+    returned arrays are trimmed copies.
+    """
+    n = stream.shape[0]
+    counts = np.zeros(3, dtype=np.int64)
+    if flags is None:
+        flags_ptr = None
+    else:
+        flags_ptr = flags.ctypes.data_as(ctypes.c_void_p)
+    _lib.lru_run(
+        stream, n, write_mode, flags_ptr,
+        lines, dirty, sizes,
+        nsets, ways, line_bytes,
+        miss_buf, evict_buf, counts,
+    )
+    hits, misses, evictions = (int(v) for v in counts)
+    return hits, miss_buf[:misses].copy(), evict_buf[:evictions].copy()
+
+
+def texstream(
+    u: np.ndarray,
+    v: np.ndarray,
+    du: np.ndarray,
+    dv: np.ndarray,
+    mip0: np.ndarray,
+    probes: np.ndarray,
+    mips: np.ndarray,
+    max_probes: int,
+    max_level: int,
+    width: int,
+    height: int,
+    mip_offsets: np.ndarray,
+    base_address: int,
+    block_bytes: int,
+    out: np.ndarray,
+) -> int:
+    """Fill ``out`` with the L0 block-address stream; returns its length."""
+    count = np.zeros(1, dtype=np.int64)
+    _lib.texstream(
+        u, v, du, dv,
+        mip0, probes, mips, u.shape[0],
+        max_probes, max_level, width, height,
+        mip_offsets, mip_offsets.shape[0],
+        base_address, block_bytes,
+        out, count,
+    )
+    return int(count[0])
+
+
+def raster_edges(
+    cqx: np.ndarray,
+    cqy: np.ndarray,
+    tri: np.ndarray,
+    ea: np.ndarray,
+    eb: np.ndarray,
+    ec: np.ndarray,
+    etl: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edge values (3, n, 4) and coverage mask (n, 4) for candidate quads."""
+    n = cqx.shape[0]
+    es = np.empty((3, n, 4), dtype=np.float64)
+    covered = np.empty((n, 4), dtype=np.uint8)
+    _lib.raster_edges(cqx, cqy, tri, n, ea, eb, ec, etl, es, covered)
+    return es, covered
+
+
+def raster_interp(
+    es: np.ndarray,
+    keep_idx: np.ndarray,
+    tk: np.ndarray,
+    inv_area: np.ndarray,
+    zs: np.ndarray,
+    ws: np.ndarray,
+    uvs: np.ndarray,
+    cols: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Depth (K, 4), uv (K, 4, 2) and color (K, 4, 4) for the kept quads."""
+    nk = keep_idx.shape[0]
+    depth = np.empty((nk, 4), dtype=np.float64)
+    uv = np.empty((nk, 4, 2), dtype=np.float64)
+    col = np.empty((nk, 4, 4), dtype=np.float64)
+    _lib.raster_interp(
+        es, es.shape[1], keep_idx, tk, nk,
+        inv_area, zs, ws, uvs, cols,
+        depth, uv, col,
+    )
+    return depth, uv, col
+
+
+def hz_update(
+    z: np.ndarray,
+    block: int,
+    bx: np.ndarray,
+    by: np.ndarray,
+    hz_max: np.ndarray,
+    hz_min: np.ndarray,
+) -> None:
+    """Refresh ``hz_max``/``hz_min`` in place for the listed blocks."""
+    _lib.hz_update(
+        z, z.shape[1], block, bx, by, bx.shape[0],
+        hz_max, hz_min, hz_max.shape[1],
+    )
+
+
+def blocks_uniform(
+    color: np.ndarray,
+    block: int,
+    bx: np.ndarray,
+    by: np.ndarray,
+) -> np.ndarray:
+    """Uniformity flags (uint8) for the listed color blocks."""
+    out = np.empty(bx.shape[0], dtype=np.uint8)
+    _lib.blocks_uniform(
+        color, color.shape[1], block, bx, by, bx.shape[0], out,
+    )
+    return out
+
+
+def bilinear(
+    mip: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    level: int,
+    out: np.ndarray,
+) -> None:
+    """Bilinear fetch from one (h, w, c) float32 mip into ``out``."""
+    h, w, nc = mip.shape
+    _lib.bilinear(mip, h, w, nc, u, v, u.shape[0], level, out)

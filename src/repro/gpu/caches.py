@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.gpu import _native
 from repro.gpu.config import CacheConfig
+
+#: Streams shorter than this stay on the Python loop: exporting/importing
+#: the LRU state around the C kernel costs more than the loop itself.
+_NATIVE_MIN_STREAM = 64
 
 
 @dataclass
@@ -21,8 +26,11 @@ class StreamResult:
     """Result of a streamed cache access run."""
 
     misses: int
-    dirty_evictions: list[int]  # byte addresses of evicted dirty lines
-    miss_lines: list[int]  # line indices that missed, in reference order
+    # Byte addresses of evicted dirty lines / line indices that missed, in
+    # reference order.  Lists from the Python loop, int64 arrays from the
+    # compiled kernel — consumers iterate or wrap in np.asarray either way.
+    dirty_evictions: "list[int] | np.ndarray"
+    miss_lines: "list[int] | np.ndarray"
 
 
 class Cache:
@@ -30,9 +38,19 @@ class Cache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
+        # Geometry hoisted out of the per-line loops: the ``sets`` property
+        # recomputes a division on every call, which dominates when the
+        # simulator replays millions of references.
+        self._nsets = config.sets
+        self._ways = config.ways
+        self._line_bytes = config.line_bytes
         self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(config.sets)
+            OrderedDict() for _ in range(self._nsets)
         ]
+        # Reusable kernel output buffers (grown geometrically) so long
+        # streams don't pay a fresh allocation per call.
+        self._miss_buf = np.empty(0, dtype=np.int64)
+        self._evict_buf = np.empty(0, dtype=np.int64)
         self.hits = 0
         self.misses = 0
 
@@ -55,8 +73,7 @@ class Cache:
 
     def access_line(self, line: int, write: bool = False) -> tuple[bool, int | None]:
         """Like :meth:`access` but takes a pre-computed line index."""
-        cfg = self.config
-        cache_set = self._sets[line % cfg.sets]
+        cache_set = self._sets[line % self._nsets]
         if line in cache_set:
             self.hits += 1
             cache_set.move_to_end(line)
@@ -65,10 +82,10 @@ class Cache:
             return True, None
         self.misses += 1
         evicted = None
-        if len(cache_set) >= cfg.ways:
+        if len(cache_set) >= self._ways:
             victim_line, dirty = cache_set.popitem(last=False)
             if dirty:
-                evicted = victim_line * cfg.line_bytes
+                evicted = victim_line * self._line_bytes
         cache_set[line] = write
         return False, evicted
 
@@ -85,23 +102,40 @@ class Cache:
         lines = np.asarray(lines).reshape(-1)
         if lines.size == 0:
             return StreamResult(0, [], [])
+        if lines.size < _NATIVE_MIN_STREAM:
+            # Short streams (per-triangle color groups dominate): the Python
+            # loop on the raw stream beats the numpy collapse passes, and the
+            # collapses are pure optimizations — results are identical.
+            return self._run_python(lines.tolist(), write)
         keep = np.empty(lines.shape, dtype=bool)
         keep[0] = True
         np.not_equal(lines[1:], lines[:-1], out=keep[1:])
         collapsed = lines[keep]
-        duplicate_hits = int(lines.size - collapsed.size)
-        self.hits += duplicate_hits
-        misses_before = self.misses
-        evictions: list[int] = []
-        miss_lines: list[int] = []
-        access_line = self.access_line
-        for line in collapsed.tolist():
-            hit, evicted = access_line(line, write)
-            if not hit:
-                miss_lines.append(line)
-            if evicted is not None:
-                evictions.append(evicted)
-        return StreamResult(self.misses - misses_before, evictions, miss_lines)
+        self.hits += int(lines.size - collapsed.size)
+        collapsed = self._collapse_alternation(collapsed)
+        return self._run_collapsed(collapsed, write)
+
+    def _collapse_alternation(self, c: np.ndarray) -> np.ndarray:
+        """Drop period-2 interior references (guaranteed hits, counted).
+
+        In a run ``A B A B …`` every reference after the first pair hits:
+        its line is one of the set's two most-recently-used entries (LRU
+        with ``ways >= 2`` cannot have evicted it), and its recency effect
+        is reproduced by the run's kept tail — an element is dropped only
+        when the alternation continues past it, so each run's final one or
+        two references survive and leave the recency order, dirty bits, and
+        downstream miss/eviction behaviour identical.  Texture probes make
+        such ping-pong streams constantly (two footprint corners per probe).
+        """
+        if self._ways < 2 or c.size < 4:
+            return c
+        drop = np.zeros(c.size, dtype=bool)
+        drop[2:-1] = (c[2:-1] == c[:-3]) & (c[3:] == c[1:-2])
+        dropped = int(drop.sum())
+        if not dropped:
+            return c
+        self.hits += dropped
+        return c[~drop]
 
     def access_runs(
         self, lines: np.ndarray, writes: np.ndarray
@@ -116,6 +150,8 @@ class Cache:
         writes = np.asarray(writes, dtype=bool).reshape(-1)
         if lines.size == 0:
             return StreamResult(0, [], [])
+        if lines.size < _NATIVE_MIN_STREAM:
+            return self._run_python_flags(lines.tolist(), writes.tolist())
         boundaries = np.empty(lines.shape, dtype=bool)
         boundaries[0] = True
         np.not_equal(lines[1:], lines[:-1], out=boundaries[1:])
@@ -123,17 +159,155 @@ class Cache:
         run_writes = np.logical_or.reduceat(writes, starts)
         collapsed = lines[starts]
         self.hits += int(lines.size - collapsed.size)
-        misses_before = self.misses
+        # Uniform write flags additionally admit the alternation collapse
+        # (a dropped reference's dirty-bit effect is covered by the kept
+        # first reference of its run, which carries the same flag).
+        if not run_writes.any():
+            return self._run_collapsed(self._collapse_alternation(collapsed), False)
+        if run_writes.all():
+            return self._run_collapsed(self._collapse_alternation(collapsed), True)
+        return self._run_collapsed_flags(collapsed, run_writes)
+
+    def _run_collapsed(self, collapsed: np.ndarray, write: bool) -> "StreamResult":
+        """Run a pre-collapsed stream with one uniform write flag.
+
+        Long streams go through the compiled LRU kernel when available; the
+        Python loop below is the reference implementation and the fallback.
+        """
+        if collapsed.size >= _NATIVE_MIN_STREAM and _native.available():
+            return self._run_native(collapsed, 1 if write else 0, None)
+        return self._run_python(collapsed.tolist(), write)
+
+    def _run_collapsed_flags(
+        self, collapsed: np.ndarray, run_writes: np.ndarray
+    ) -> "StreamResult":
+        """:meth:`_run_collapsed` with a per-access write flag."""
+        if collapsed.size >= _NATIVE_MIN_STREAM and _native.available():
+            return self._run_native(
+                collapsed, 2, np.ascontiguousarray(run_writes, dtype=np.uint8)
+            )
+        return self._run_python_flags(collapsed.tolist(), run_writes.tolist())
+
+    def _export_state(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten the per-set LRU dicts into kernel arrays (MRU-first)."""
+        nsets, ways = self._nsets, self._ways
+        lines = np.zeros(nsets * ways, dtype=np.int64)
+        dirty = np.zeros(nsets * ways, dtype=np.uint8)
+        sizes = np.zeros(nsets, dtype=np.int64)
+        for index, cache_set in enumerate(self._sets):
+            size = len(cache_set)
+            sizes[index] = size
+            base = index * ways
+            # OrderedDict iterates LRU → MRU; the kernel wants MRU first.
+            slot = base + size - 1
+            for line, is_dirty in cache_set.items():
+                lines[slot] = line
+                dirty[slot] = is_dirty
+                slot -= 1
+        return lines, dirty, sizes
+
+    def _import_state(
+        self, lines: np.ndarray, dirty: np.ndarray, sizes: np.ndarray
+    ) -> None:
+        """Rebuild the per-set LRU dicts from post-kernel arrays."""
+        ways = self._ways
+        line_list = lines.tolist()
+        dirty_list = dirty.tolist()
+        for index in range(self._nsets):
+            cache_set: OrderedDict[int, bool] = OrderedDict()
+            base = index * ways
+            for slot in range(base + int(sizes[index]) - 1, base - 1, -1):
+                cache_set[line_list[slot]] = bool(dirty_list[slot])
+            self._sets[index] = cache_set
+
+    def _run_native(
+        self, collapsed: np.ndarray, write_mode: int, flags: np.ndarray | None
+    ) -> "StreamResult":
+        if self._miss_buf.size < collapsed.size:
+            self._miss_buf = np.empty(2 * collapsed.size, dtype=np.int64)
+            self._evict_buf = np.empty(2 * collapsed.size, dtype=np.int64)
+        lines, dirty, sizes = self._export_state()
+        hits, miss_lines, evictions = _native.lru_run(
+            np.ascontiguousarray(collapsed, dtype=np.int64),
+            write_mode,
+            flags,
+            lines,
+            dirty,
+            sizes,
+            self._nsets,
+            self._ways,
+            self._line_bytes,
+            self._miss_buf,
+            self._evict_buf,
+        )
+        self._import_state(lines, dirty, sizes)
+        self.hits += hits
+        self.misses += miss_lines.size
+        return StreamResult(miss_lines.size, evictions, miss_lines)
+
+    def _run_python(self, collapsed: list[int], write: bool) -> "StreamResult":
+        """Inlined LRU loop for a pre-collapsed stream, one write flag.
+
+        Semantically identical to calling :meth:`access_line` per element;
+        the loop is inlined (with geometry in locals and a direct-mapped
+        single-set shortcut) because these few lines are the simulator's
+        hottest Python code by an order of magnitude.
+        """
+        sets = self._sets
+        nsets = self._nsets
+        ways = self._ways
+        line_bytes = self._line_bytes
+        single = sets[0] if nsets == 1 else None
+        hits = 0
         evictions: list[int] = []
         miss_lines: list[int] = []
-        access_line = self.access_line
-        for line, w in zip(collapsed.tolist(), run_writes.tolist()):
-            hit, evicted = access_line(line, w)
-            if not hit:
-                miss_lines.append(line)
-            if evicted is not None:
-                evictions.append(evicted)
-        return StreamResult(self.misses - misses_before, evictions, miss_lines)
+        for line in collapsed:
+            cache_set = single if single is not None else sets[line % nsets]
+            if line in cache_set:
+                hits += 1
+                cache_set.move_to_end(line)
+                if write:
+                    cache_set[line] = True
+                continue
+            miss_lines.append(line)
+            if len(cache_set) >= ways:
+                victim_line, dirty = cache_set.popitem(last=False)
+                if dirty:
+                    evictions.append(victim_line * line_bytes)
+            cache_set[line] = write
+        self.hits += hits
+        self.misses += len(miss_lines)
+        return StreamResult(len(miss_lines), evictions, miss_lines)
+
+    def _run_python_flags(
+        self, collapsed: list[int], run_writes: list[bool]
+    ) -> "StreamResult":
+        """:meth:`_run_python` with a per-access write flag."""
+        sets = self._sets
+        nsets = self._nsets
+        ways = self._ways
+        line_bytes = self._line_bytes
+        single = sets[0] if nsets == 1 else None
+        hits = 0
+        evictions: list[int] = []
+        miss_lines: list[int] = []
+        for line, write in zip(collapsed, run_writes):
+            cache_set = single if single is not None else sets[line % nsets]
+            if line in cache_set:
+                hits += 1
+                cache_set.move_to_end(line)
+                if write:
+                    cache_set[line] = True
+                continue
+            miss_lines.append(line)
+            if len(cache_set) >= ways:
+                victim_line, dirty = cache_set.popitem(last=False)
+                if dirty:
+                    evictions.append(victim_line * line_bytes)
+            cache_set[line] = write
+        self.hits += hits
+        self.misses += len(miss_lines)
+        return StreamResult(len(miss_lines), evictions, miss_lines)
 
     def flush(self) -> list[int]:
         """Evict everything; returns byte addresses of dirty lines."""

@@ -76,26 +76,77 @@ class ColorStage:
 
     def _account_cache(self, qx: np.ndarray, qy: np.ndarray) -> None:
         fb = self.fb
+        config = self.config
+        line_bytes = config.color_cache.line_bytes
+        if qx.shape[0] <= 32:
+            # Scalar path for the short per-triangle groups that dominate
+            # call counts: the same access sequence, byte totals and state
+            # updates as the batched path below, without the numpy
+            # fixed costs (which exceed the loop at this size).
+            cache = self.cache
+            state = fb.color_block_state
+            block = fb.block
+            blocks_x = fb.blocks_x
+            read_bytes = 0
+            evict_lines: list[int] = []
+            for x, y in zip(qx.tolist(), qy.tolist()):
+                bx_i = x * 2 // block
+                by_i = y * 2 // block
+                hit, evicted = cache.access_line(by_i * blocks_x + bx_i, True)
+                if not hit:
+                    st = state[by_i, bx_i]
+                    nbytes = line_bytes
+                    if config.color_compression and st == BlockState.COMPRESSED:
+                        nbytes = line_bytes // 2
+                    if config.color_fast_clear and st == BlockState.CLEARED:
+                        nbytes = 0
+                    read_bytes += nbytes
+                if evicted is not None:
+                    evict_lines.append(evicted // line_bytes)
+            if read_bytes:
+                self.memory.read(MemClient.COLOR, read_bytes)
+            if evict_lines:
+                self._write_back_lines(np.asarray(evict_lines, dtype=np.int64))
+            return
         bx, by = fb.quad_block_coords(qx, qy)
         lines = fb.block_line_index(bx, by)
         result = self.cache.access_stream(lines, write=True)
+        # Batched exactly like ZStencilStage._account_result: miss fills
+        # only read block states, uniformity probes only read the color
+        # plane (blending for this batch already happened above).
+        misses = np.asarray(result.miss_lines, dtype=np.int64)
+        if misses.size:
+            ys, xs = np.divmod(misses, fb.blocks_x)
+            states = fb.color_block_state[ys, xs]
+            nbytes = np.full(misses.size, line_bytes, dtype=np.int64)
+            if config.color_compression:
+                nbytes[states == BlockState.COMPRESSED] = line_bytes // 2
+            if config.color_fast_clear:
+                nbytes[states == BlockState.CLEARED] = 0
+            self.memory.read(MemClient.COLOR, int(nbytes.sum()))
+        evictions = np.asarray(result.dirty_evictions, dtype=np.int64)
+        if evictions.size:
+            self._write_back_lines(evictions // line_bytes)
+
+    def _write_back_lines(self, lines: np.ndarray) -> None:
+        """Vectorized :meth:`_write_back` over a line-index array."""
+        fb = self.fb
         line_bytes = self.config.color_cache.line_bytes
-        for line in result.miss_lines:
-            y, x = divmod(line, fb.blocks_x)
-            block_state = fb.color_block_state[y, x]
-            if block_state == BlockState.CLEARED and self.config.color_fast_clear:
-                continue
-            if block_state == BlockState.COMPRESSED and self.config.color_compression:
-                self.memory.read(MemClient.COLOR, line_bytes // 2)
-            else:
-                self.memory.read(MemClient.COLOR, line_bytes)
-        for addr in result.dirty_evictions:
-            self._write_back(addr // line_bytes)
+        ys, xs = np.divmod(lines, fb.blocks_x)
+        if self.config.color_compression:
+            uniform = fb.color_blocks_uniform(xs, ys)
+        else:
+            uniform = np.zeros(lines.size, dtype=bool)
+        nbytes = np.where(uniform, line_bytes // 2, line_bytes)
+        self.memory.write(MemClient.COLOR, int(nbytes.sum()))
+        fb.color_block_state[ys[uniform], xs[uniform]] = BlockState.COMPRESSED
+        fb.color_block_state[ys[~uniform], xs[~uniform]] = BlockState.UNCOMPRESSED
 
     def flush(self) -> None:
         """End-of-frame writeback so the DAC can scan the finished frame."""
-        for addr in self.cache.flush():
-            self._write_back(addr // self.config.color_cache.line_bytes)
+        addrs = np.asarray(self.cache.flush(), dtype=np.int64)
+        if addrs.size:
+            self._write_back_lines(addrs // self.config.color_cache.line_bytes)
 
     def _write_back(self, line: int) -> None:
         fb = self.fb

@@ -88,6 +88,11 @@ class GpuConfig:
     # Texturing.
     max_anisotropy: int = 16
 
+    # Pipeline execution strategy (results are bit-identical either way):
+    # True runs the draw-level QuadStream path, False the per-triangle
+    # reference path kept for A/B regression testing.
+    vectorized: bool = True
+
     # Display.
     framebuffer_bytes_per_pixel: int = 4  # RGBA8 color; z24s8 likewise 4B
 

@@ -13,6 +13,8 @@ from enum import IntEnum
 
 import numpy as np
 
+from repro.gpu import _native
+
 
 class BlockState(IntEnum):
     CLEARED = 0
@@ -148,6 +150,16 @@ class Framebuffer:
         if len(bx) == 0:
             return
         b = self.block
+        if _native.available():
+            _native.hz_update(
+                self.z,
+                b,
+                np.ascontiguousarray(bx, dtype=np.int64),
+                np.ascontiguousarray(by, dtype=np.int64),
+                self.hz_max,
+                self.hz_min,
+            )
+            return
         for x, y in zip(bx.tolist(), by.tolist()):
             tile = self.z[y * b : (y + 1) * b, x * b : (x + 1) * b]
             self.hz_max[y, x] = tile.max()
@@ -168,6 +180,20 @@ class Framebuffer:
             self.hz_stencil_max[y, x] = tile.max()
 
     # -- compression checks ---------------------------------------------------
+    @property
+    def _block_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        grid = getattr(self, "_block_grid_cache", None)
+        if grid is None:
+            grid = np.mgrid[0 : self.block, 0 : self.block]
+            self._block_grid_cache = grid
+        return grid[0], grid[1]
+
+    def _z_tiles(self, bx: np.ndarray, by: np.ndarray) -> np.ndarray:
+        """Gather 8x8 z tiles for blocks (bx, by) as an (n, b, b) array."""
+        b = self.block
+        view = self.z.reshape(self.blocks_y, b, self.blocks_x, b)
+        return view[by, :, bx, :]
+
     def z_block_compressible(self, bx: int, by: int) -> bool:
         """Planar-fit check: a block covered by few triangles stores as planes.
 
@@ -176,14 +202,26 @@ class Framebuffer:
         corners and accept small residuals (two-plane blocks roughly halve
         compressibility, which the tolerance approximates).
         """
+        return bool(
+            self.z_blocks_compressible(
+                np.asarray([bx], dtype=np.int64), np.asarray([by], dtype=np.int64)
+            )[0]
+        )
+
+    def z_blocks_compressible(self, bx: np.ndarray, by: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`z_block_compressible` over block-coordinate arrays."""
         b = self.block
-        tile = self.z[by * b : (by + 1) * b, bx * b : (bx + 1) * b]
-        z00 = tile[0, 0]
-        dzdx = (tile[0, -1] - z00) / (b - 1)
-        dzdy = (tile[-1, 0] - z00) / (b - 1)
-        ys, xs = np.mgrid[0:b, 0:b]
-        plane = z00 + dzdx * xs + dzdy * ys
-        return bool(np.abs(tile - plane).max() < 1e-5)
+        tiles = self._z_tiles(bx, by)
+        z00 = tiles[:, 0, 0]
+        dzdx = (tiles[:, 0, -1] - z00) / (b - 1)
+        dzdy = (tiles[:, -1, 0] - z00) / (b - 1)
+        ys, xs = self._block_grid
+        plane = (
+            z00[:, None, None]
+            + dzdx[:, None, None] * xs
+            + dzdy[:, None, None] * ys
+        )
+        return np.abs(tiles - plane).max(axis=(1, 2)) < 1e-5
 
     def color_block_uniform(self, bx: int, by: int) -> bool:
         """The paper's color compression "only works for blocks of pixels
@@ -193,11 +231,30 @@ class Framebuffer:
         stored surface is RGBA8, so colors within half an LSB are the same
         stored value.
         """
+        return bool(
+            self.color_blocks_uniform(
+                np.asarray([bx], dtype=np.int64), np.asarray([by], dtype=np.int64)
+            )[0]
+        )
+
+    def color_blocks_uniform(self, bx: np.ndarray, by: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`color_block_uniform` over block-coordinate arrays."""
         b = self.block
-        tile = self.color[by * b : (by + 1) * b, bx * b : (bx + 1) * b]
-        quantized = np.clip(tile, 0.0, 1.0)
-        first = quantized[0, 0]
-        return bool(np.abs(quantized - first).max() < 0.5 / 255.0)
+        if _native.available():
+            flags = _native.blocks_uniform(
+                self.color,
+                b,
+                np.ascontiguousarray(bx, dtype=np.int64),
+                np.ascontiguousarray(by, dtype=np.int64),
+            )
+            return flags.view(bool)
+        view = self.color.reshape(self.blocks_y, b, self.blocks_x, b, 4)
+        quantized = np.clip(view[by, :, bx, :, :], 0.0, 1.0)
+        first = quantized[:, :1, :1, :]
+        return (
+            np.abs(quantized - first).reshape(len(bx), -1).max(axis=1)
+            < 0.5 / 255.0
+        )
 
     # -- output ---------------------------------------------------------------
     def color_image(self) -> np.ndarray:

@@ -32,11 +32,16 @@ from repro.gpu.color import ColorStage
 from repro.gpu.config import GpuConfig
 from repro.gpu.framebuffer import Framebuffer
 from repro.gpu.memory import MemoryController
-from repro.gpu.rasterizer import QuadBatch, rasterize_triangle
+from repro.gpu.rasterizer import (
+    QuadBatch,
+    QuadStream,
+    rasterize_draw,
+    rasterize_triangle,
+)
 from repro.gpu.stats import FrameGpuStats, GpuStats, MemClient, QuadFate
 from repro.gpu.texture import TextureFilter, TextureResource, TextureUnit
 from repro.gpu.vertex import VertexStage
-from repro.gpu.zstencil import ZStencilStage
+from repro.gpu.zstencil import ZStencilStage, block_ranks
 from repro.shader.interpreter import ShaderInterpreter
 from repro.shader.program import ShaderProgram
 
@@ -265,8 +270,20 @@ class GpuSimulator:
             and state.depth_func in ("less", "lequal", "equal")
         )
 
+        if self.config.vectorized:
+            self._fragment_stages_stream(
+                ccr.triangles, fp, state, fstats, early_z, hz_on
+            )
+        else:
+            self._fragment_stages_classic(
+                ccr.triangles, fp, state, fstats, early_z, hz_on
+            )
+
+    def _fragment_stages_classic(
+        self, tris, fp, state, fstats: FrameGpuStats, early_z: bool, hz_on: bool
+    ) -> None:
+        """Per-triangle reference path (``GpuConfig(vectorized=False)``)."""
         pending: list[tuple[QuadBatch, np.ndarray]] = []
-        tris = ccr.triangles
         for t in range(tris.count):
             qb = rasterize_triangle(
                 tris.xy[t],
@@ -408,3 +425,225 @@ class GpuSimulator:
             fstats.fragments_blended += int(live.sum())
             fstats.quads_blended += qb.quad_count
             fstats.count_quad_fates(QuadFate.BLENDED, qb.quad_count)
+
+    # -- QuadStream (draw-level vectorized) path -------------------------
+    def _fragment_stages_stream(
+        self, tris, fp, state, fstats: FrameGpuStats, early_z: bool, hz_on: bool
+    ) -> None:
+        """Draw-level vectorized fragment pipeline (``vectorized=True``).
+
+        Rasterizes the whole draw into one :class:`QuadStream` and runs the
+        downstream stages over the stream.  Statistics, quad fates, cache
+        reference streams, and framebuffer contents are bit-identical to
+        :meth:`_fragment_stages_classic` (see ``tests/test_quadstream.py``).
+        """
+        stream = rasterize_draw(tris, self.config.width, self.config.height)
+        if stream is None:
+            return
+        fstats.fragments_rasterized += stream.fragment_count
+        fstats.quads_rasterized += stream.quad_count
+        fstats.complete_quads_rasterized += stream.complete_quads
+
+        if early_z:
+            surv, pass_mask = self._zstencil_stream(
+                stream, stream.cover, state, fstats, hz_on
+            )
+            if not surv.any():
+                return
+            stream = stream.select(surv)
+            live = pass_mask[surv]
+        else:
+            # Late Z: HZ state cannot change before shading (updates happen
+            # in the Z/stencil stage below), so one cull pass suffices.
+            if hz_on:
+                culled = self._hz_cull(
+                    stream.qx, stream.qy, stream.z, stream.cover, state, fstats
+                )
+                if culled.all():
+                    return
+                if culled.any():
+                    stream = stream.select(~culled)
+            live = stream.cover
+        self._shade_and_write_stream(stream, live, fp, state, fstats, early_z)
+
+    def _hz_cull(self, qx, qy, z, cover, state, fstats: FrameGpuStats):
+        """Hierarchical-Z cull mask for a quad wave (counts HZ quad fates)."""
+        z_for_min = np.where(cover, z, np.inf)
+        z_min = z_for_min.min(axis=1)
+        if self.config.hz_min_max and state.depth_func == "equal":
+            z_for_max = np.where(cover, z, -np.inf)
+            culled = self.fb.hz_minmax_equal_cull_mask(
+                qx, qy, z_min, z_for_max.max(axis=1)
+            )
+        else:
+            culled = self.fb.hz_cull_mask(qx, qy, z_min)
+        if self.config.hz_stencil and state.stencil_test:
+            culled = culled | self.fb.hz_stencil_cull_mask(
+                qx, qy, state.stencil_ref, state.stencil_func
+            )
+        fstats.count_quad_fates(QuadFate.HZ, int(culled.sum()))
+        return culled
+
+    def _zstencil_stream(
+        self,
+        stream: QuadStream,
+        alive: np.ndarray,
+        state,
+        fstats: FrameGpuStats,
+        hz_on: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rank-ordered Z/stencil over a draw's stream.
+
+        Returns ``(survivors, pass_mask)`` over the input stream.  When the
+        draw can write depth or stencil, quads are processed in block-rank
+        waves (see :func:`~repro.gpu.zstencil.block_ranks`) so every wave is
+        hazard-free and each framebuffer block sees its triangles in
+        submission order; HZ culling and HZ updates interleave with the
+        waves exactly as the per-triangle path interleaves them per block.
+        Cache accounting is deferred to one original-order pass at the end.
+        """
+        n = stream.quad_count
+        pass_mask = np.zeros((n, 4), dtype=bool)
+        wrote = np.zeros(n, dtype=bool)
+        entered = np.zeros(n, dtype=bool)
+        writes_possible = (state.depth_test and state.depth_write) or (
+            state.stencil_test and state.stencil_write
+        )
+        if writes_possible:
+            bx, by = self.fb.quad_block_coords(stream.qx, stream.qy)
+            ranks = block_ranks(self.fb.block_line_index(bx, by), stream.tri)
+            order = np.argsort(ranks, kind="stable")
+            counts = np.bincount(ranks)
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            waves = [
+                order[bounds[r] : bounds[r + 1]] for r in range(counts.size)
+            ]
+        else:
+            waves = [np.arange(n)]
+
+        for idx in waves:
+            qx, qy, z = stream.qx[idx], stream.qy[idx], stream.z[idx]
+            wave_alive = alive[idx]
+            if hz_on:
+                culled = self._hz_cull(
+                    qx, qy, z, stream.cover[idx], state, fstats
+                )
+                if culled.all():
+                    continue
+                if culled.any():
+                    keep = ~culled
+                    idx = idx[keep]
+                    qx, qy, z = qx[keep], qy[keep], z[keep]
+                    wave_alive = wave_alive[keep]
+            entered[idx] = True
+            fstats.fragments_zstencil += int(wave_alive.sum())
+            fstats.quads_zstencil += int(idx.size)
+            fstats.complete_quads_zstencil += int(wave_alive.all(axis=1).sum())
+            zres = self.zstencil.test_write(
+                qx, qy, z, stream.front[idx], state, wave_alive
+            )
+            pass_mask[idx] = zres.pass_mask
+            wrote[idx] = zres.wrote
+            if state.depth_write:
+                self.zstencil.update_hz_quads(qx, qy, zres.wrote)
+
+        self.zstencil.account_stream(
+            stream.qx[entered], stream.qy[entered], wrote[entered]
+        )
+        surv = entered & pass_mask.any(axis=1)
+        fstats.count_quad_fates(
+            QuadFate.ZSTENCIL, int(entered.sum() - surv.sum())
+        )
+        return surv, pass_mask
+
+    def _shade_and_write_stream(
+        self,
+        stream: QuadStream,
+        alive: np.ndarray,
+        fp: ShaderProgram | None,
+        state,
+        fstats: FrameGpuStats,
+        early_z: bool,
+    ) -> None:
+        """Stream analogue of :meth:`_shade_and_write`."""
+        all_alive = alive.reshape(-1)
+
+        if fp is not None:
+            uv = stream.uv.reshape(-1, 2)
+            colors_in = stream.color.reshape(-1, 4)
+            n = uv.shape[0]
+            v1 = np.zeros((n, 4))
+            v1[:, :2] = uv
+            v1[:, 3] = 1.0
+            self.texture_unit.set_coverage(all_alive)
+            tex_before = self.texture_unit.stats.reset()
+            del tex_before
+            result = self.fragment_interp.run(
+                fp, inputs={1: v1, 2: colors_in}, count=n
+            )
+            self.texture_unit.set_coverage(None)
+            tex_stats = self.texture_unit.stats.reset()
+            shaded = int(all_alive.sum())
+            fstats.fragments_shaded += shaded
+            fstats.quads_shaded += stream.quad_count
+            fstats.fragment_instructions += fp.instruction_count * shaded
+            fstats.fragment_alu_instructions += fp.alu_instruction_count * shaded
+            fstats.texture_requests += tex_stats.requests
+            fstats.bilinear_samples += tex_stats.bilinear_samples
+            out_color = result.output(0)
+            kill = result.kill_mask
+        else:
+            out_color = stream.color.reshape(-1, 4)
+            kill = np.zeros(all_alive.shape[0], dtype=bool)
+
+        q_color = out_color.reshape(-1, 4, 4)
+        q_kill = kill.reshape(-1, 4)
+        live = alive & ~q_kill
+
+        if fp is not None and fp.uses_kill:
+            dead = ~live.any(axis=1)
+            fstats.count_quad_fates(QuadFate.ALPHA, int(dead.sum()))
+            if dead.all():
+                return
+            if dead.any():
+                keep = ~dead
+                stream = stream.select(keep)
+                live = live[keep]
+                q_color = q_color[keep]
+
+        if not early_z:
+            surv, pass_mask = self._zstencil_stream(
+                stream, live, state, fstats, hz_on=False
+            )
+            if not surv.any():
+                return
+            stream = stream.select(surv)
+            live = pass_mask[surv]
+            q_color = q_color[surv]
+
+        if not state.color_mask:
+            fstats.count_quad_fates(QuadFate.COLOR_MASK, stream.quad_count)
+            return
+
+        # Blend order within a draw matters (and the color cache's
+        # eviction-time uniformity checks observe mid-draw framebuffer
+        # state), so the color stage runs per traversal-order triangle
+        # group — the exact call sequence of the per-triangle path.
+        xs, ys = stream.pixel_coords()
+        tri = stream.tri
+        n = stream.quad_count
+        starts = np.nonzero(np.r_[True, tri[1:] != tri[:-1]])[0]
+        ends = np.r_[starts[1:], n]
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            self.color_stage.process(
+                xs[s:e],
+                ys[s:e],
+                stream.qx[s:e],
+                stream.qy[s:e],
+                q_color[s:e],
+                live[s:e],
+                state.blend,
+            )
+        fstats.fragments_blended += int(live.sum())
+        fstats.quads_blended += n
+        fstats.count_quad_fates(QuadFate.BLENDED, n)

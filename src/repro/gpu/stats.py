@@ -27,6 +27,35 @@ class QuadFate(Enum):
     BLENDED = "Blending"
 
 
+#: Every additive event counter shared by :class:`FrameGpuStats` and
+#: :class:`GpuStats` — the single source of truth for merging and export.
+_COUNTER_FIELDS = (
+    "indices",
+    "triangles_assembled",
+    "triangles_clipped",
+    "triangles_culled",
+    "triangles_traversed",
+    "vertex_cache_references",
+    "vertex_cache_hits",
+    "vertices_shaded",
+    "vertex_instructions",
+    "fragments_rasterized",
+    "quads_rasterized",
+    "complete_quads_rasterized",
+    "fragments_zstencil",
+    "quads_zstencil",
+    "complete_quads_zstencil",
+    "fragments_shaded",
+    "quads_shaded",
+    "fragments_blended",
+    "quads_blended",
+    "fragment_instructions",
+    "texture_requests",
+    "bilinear_samples",
+    "fragment_alu_instructions",
+)
+
+
 @dataclass
 class FrameGpuStats:
     """Counters for one simulated frame (the per-frame series of the figures)."""
@@ -85,32 +114,21 @@ class FrameGpuStats:
             raise KeyError(f"unknown stage {stage!r}")
         return counts[stage] / tris
 
+    def as_dict(self) -> dict[str, int | dict[str, int]]:
+        """Counters plus quad fates keyed by name — stable comparison form."""
+        out: dict[str, int | dict[str, int]] = {
+            name: getattr(self, name) for name in _COUNTER_FIELDS
+        }
+        out["frame"] = self.frame
+        out["quad_fates"] = {
+            fate.name: count for fate, count in sorted(
+                self.quad_fates.items(), key=lambda item: item[0].name
+            )
+        }
+        return out
+
     def merge_into(self, total: "GpuStats") -> None:
-        for name in (
-            "indices",
-            "triangles_assembled",
-            "triangles_clipped",
-            "triangles_culled",
-            "triangles_traversed",
-            "vertex_cache_references",
-            "vertex_cache_hits",
-            "vertices_shaded",
-            "vertex_instructions",
-            "fragments_rasterized",
-            "quads_rasterized",
-            "complete_quads_rasterized",
-            "fragments_zstencil",
-            "quads_zstencil",
-            "complete_quads_zstencil",
-            "fragments_shaded",
-            "quads_shaded",
-            "fragments_blended",
-            "quads_blended",
-            "fragment_instructions",
-            "texture_requests",
-            "bilinear_samples",
-            "fragment_alu_instructions",
-        ):
+        for name in _COUNTER_FIELDS:
             setattr(total, name, getattr(total, name) + getattr(self, name))
         for fate, count in self.quad_fates.items():
             total.quad_fates[fate] = total.quad_fates.get(fate, 0) + count

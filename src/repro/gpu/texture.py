@@ -16,6 +16,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro.gpu import _native
 from repro.gpu.caches import Cache
 from repro.gpu.config import GpuConfig
 from repro.gpu.memory import MemoryController
@@ -143,6 +144,7 @@ class TextureUnit:
         self._filter = TextureFilter.ANISOTROPIC
         self._max_aniso = config.max_anisotropy
         self._coverage: np.ndarray | None = None
+        self._mip_offsets: dict[str, np.ndarray] = {}
         self.stats = TextureSampleStats()
 
     # -- setup -------------------------------------------------------------
@@ -261,9 +263,11 @@ class TextureUnit:
         """Generate the L0/L1/memory reference stream for covered lanes."""
         if not covered.any():
             return
-        mip_offsets = resource.mip_block_offsets()
+        mip_offsets = self._mip_offsets.get(resource.name)
+        if mip_offsets is None:
+            mip_offsets = np.asarray(resource.mip_block_offsets(), dtype=np.int64)
+            self._mip_offsets[resource.name] = mip_offsets
         max_probes = int(probes[covered].max())
-        l0_addr_parts: list[np.ndarray] = []
         u_c = u[covered]
         v_c = v[covered]
         mip0_c = mip0[covered]
@@ -271,41 +275,132 @@ class TextureUnit:
         mips_c = mip_count[covered]
         du_c = major_du[covered]
         dv_c = major_dv[covered]
+        block_bytes = resource.format.block_bytes
+        if _native.available() and u_c.dtype == np.float64:
+            # One fused pass: the kernel emits the whole probe-major
+            # reference stream (bit-identical to the numpy construction
+            # below) without materializing any per-probe intermediate.
+            mip0_i = np.ascontiguousarray(mip0_c, dtype=np.int64)
+            probes_i = np.ascontiguousarray(probes_c, dtype=np.int64)
+            mips_i = np.ascontiguousarray(mips_c, dtype=np.int64)
+            bound = int(2 * (probes_i * np.minimum(mips_i, 2)).sum())
+            if bound == 0:
+                return
+            stream_buf = np.empty(bound, dtype=np.int64)
+            count = _native.texstream(
+                np.ascontiguousarray(u_c),
+                np.ascontiguousarray(v_c),
+                np.ascontiguousarray(du_c, dtype=np.float64),
+                np.ascontiguousarray(dv_c, dtype=np.float64),
+                mip0_i,
+                probes_i,
+                mips_i,
+                max_probes,
+                resource.levels - 1,
+                resource.width,
+                resource.height,
+                mip_offsets,
+                resource.base_address,
+                block_bytes,
+                stream_buf,
+            )
+            self._account_l0_stream(stream_buf[:count], block_bytes)
+            return
+        # The reference stream is probe-major: probe p of every lane that has
+        # one (lane order), then probe p+1, ...  Materialize that (p, lane)
+        # pair order once up front so every per-lane array is gathered a
+        # single time — anisotropic draws take up to 16 probes per lane, and
+        # re-gathering with a boolean mask per probe dominated this stage.
+        if max_probes == 1:
+            rows = np.zeros(probes_c.shape[0], dtype=np.int64)
+            cols = np.arange(probes_c.shape[0])
+        else:
+            pair_mask = (
+                np.arange(max_probes, dtype=np.int64)[:, None] < probes_c[None, :]
+            )
+            rows, cols = np.nonzero(pair_mask)
+        # t in [-0.5, 0.5) along the anisotropy major axis (same float
+        # expression as the per-probe form: rows is the probe index p).
+        t_all = (rows + 0.5) / probes_c[cols] - 0.5
+        pu_all = u_c[cols] + t_all * du_c[cols]
+        pv_all = v_c[cols] + t_all * dv_c[cols]
+        mip0_all = mip0_c[cols]
+        mips_all = mips_c[cols]
+        # Per mip step, compute both corner addresses for ALL pairs at once;
+        # the probe-major assembly below is then pure slicing.
+        step_addrs: dict[int, list[np.ndarray]] = {}
+        step_bounds: dict[int, np.ndarray] = {}
+        for level_step in (0, 1):
+            gsel = mips_all > level_step
+            if not gsel.any():
+                continue
+            level = np.minimum(mip0_all[gsel] + level_step, resource.levels - 1)
+            # A bilinear probe reads a 2x2 texel footprint.  Reference its
+            # two diagonal corners (at the sampled mip's texel pitch): they
+            # bound the footprint's cache-line spread, so the hit rates
+            # reflect texel traffic like Table XIV does, at half the
+            # reference-stream cost of all four corners.  The mip geometry
+            # is shared by both corners (same arithmetic as
+            # _block_byte_addr, hoisted).
+            clamped = np.minimum(level, 30)
+            pitch = np.power(2.0, level.astype(np.float64))
+            w = np.maximum(resource.width >> clamped, 1)
+            h = np.maximum(resource.height >> clamped, 1)
+            offs = resource.base_address + mip_offsets[
+                np.minimum(level, len(mip_offsets) - 1)
+            ]
+            bu = pu_all[gsel]
+            bv = pv_all[gsel]
+            # pitch is an exact power of two, so dividing by it and
+            # multiplying by its reciprocal round identically; likewise the
+            # mip extents are powers of two, letting the wrap use a bit mask
+            # (correct for negative pre-wrap texels in two's complement) and
+            # the block split a shift.
+            inv_pitch = 1.0 / pitch
+            pow2_wrap = not (((w & (w - 1)) | (h & (h - 1))).any())
+            corners = []
+            for corner in (-0.5, 0.5):
+                tx = np.floor((bu + corner * pitch) * inv_pitch).astype(np.int64)
+                ty = np.floor((bv + corner * pitch) * inv_pitch).astype(np.int64)
+                if pow2_wrap:
+                    tx &= w - 1
+                    ty &= h - 1
+                else:
+                    tx %= w
+                    ty %= h
+                block = morton2d(
+                    (tx >> 2).astype(np.uint64), (ty >> 2).astype(np.uint64)
+                ).astype(np.int64)
+                corners.append(offs + block * block_bytes)
+            step_addrs[level_step] = corners
+            step_bounds[level_step] = np.searchsorted(
+                rows[gsel], np.arange(max_probes + 1)
+            )
+        if not step_addrs:
+            return
+        l0_addr_parts: list[np.ndarray] = []
         for p in range(max_probes):
-            sel = probes_c > p
-            if not sel.any():
-                break
-            t = (p + 0.5) / probes_c[sel] - 0.5  # [-0.5, 0.5) along major axis
-            pu = u_c[sel] + t * du_c[sel]
-            pv = v_c[sel] + t * dv_c[sel]
-            for level_step in (0, 1):
-                lsel = mips_c[sel] > level_step
-                if not lsel.any():
+            for level_step, corners in step_addrs.items():
+                bounds = step_bounds[level_step]
+                s, e = int(bounds[p]), int(bounds[p + 1])
+                if s == e:
                     continue
-                level = np.minimum(mip0_c[sel][lsel] + level_step, resource.levels - 1)
-                # A bilinear probe reads a 2x2 texel footprint.  Reference
-                # its two diagonal corners (at the sampled mip's texel
-                # pitch): they bound the footprint's cache-line spread, so
-                # the hit rates reflect texel traffic like Table XIV does,
-                # at half the reference-stream cost of all four corners.
-                pitch = np.power(2.0, level.astype(np.float64))
-                for du, dv in ((0.0, 0.0), (1.0, 1.0)):
-                    addr = self._block_byte_addr(
-                        resource,
-                        pu[lsel] + (du - 0.5) * pitch,
-                        pv[lsel] + (dv - 0.5) * pitch,
-                        level,
-                        mip_offsets,
-                    )
-                    l0_addr_parts.append(addr)
+                l0_addr_parts.append(corners[0][s:e])
+                l0_addr_parts.append(corners[1][s:e])
         if not l0_addr_parts:
             return
-        block_addrs = np.concatenate(l0_addr_parts)
-        block_bytes = resource.format.block_bytes
+        self._account_l0_stream(np.concatenate(l0_addr_parts), block_bytes)
+
+    def _account_l0_stream(
+        self, block_addrs: np.ndarray, block_bytes: int
+    ) -> None:
+        """Run a block-address stream through L0 → L1 → memory."""
+        if block_addrs.size == 0:
+            return
         # One L0 line holds one decompressed 4x4 block.
         l0_lines = block_addrs // block_bytes
         l0_result = self.l0.access_stream(l0_lines, write=False)
-        if not l0_result.miss_lines:
+        if l0_result.misses == 0:
             return
         # L0 misses fetch the compressed block through L1 (64 B lines hold
         # several DXT blocks, which is where compressed-space locality pays).
@@ -324,7 +419,7 @@ class TextureUnit:
         u: np.ndarray,
         v: np.ndarray,
         level: np.ndarray,
-        mip_offsets: list[int],
+        mip_offsets: np.ndarray,
     ) -> np.ndarray:
         """Compressed byte address of the 4x4 block holding texel (u, v).
 
@@ -347,9 +442,24 @@ class TextureUnit:
     ) -> np.ndarray:
         """Bilinear color fetch at the floor mip (color approximation)."""
         out = np.empty((u.shape[0], 4), dtype=np.float32)
+        use_native = _native.available()
         for level in np.unique(mip0):
             sel = mip0 == level
             mip = resource.mips[int(level)]
+            if (
+                use_native
+                and u.dtype == np.float64
+                and v.dtype == np.float64
+                and mip.dtype == np.float32
+                and mip.flags.c_contiguous
+                and mip.shape[-1] == 4
+            ):
+                us = np.ascontiguousarray(u[sel])
+                vs = np.ascontiguousarray(v[sel])
+                res = np.empty((us.shape[0], 4), dtype=np.float32)
+                _native.bilinear(mip, us, vs, int(level), res)
+                out[sel] = res
+                continue
             h, w = mip.shape[:2]
             mu = u[sel] / (1 << int(level)) - 0.5
             mv = v[sel] / (1 << int(level)) - 0.5
@@ -359,10 +469,15 @@ class TextureUnit:
             fy = (mv - y0)[:, None]
             x0w, x1w = x0 % w, (x0 + 1) % w
             y0w, y1w = y0 % h, (y0 + 1) % h
-            c00 = mip[y0w, x0w]
-            c10 = mip[y0w, x1w]
-            c01 = mip[y1w, x0w]
-            c11 = mip[y1w, x1w]
+            # Flat-index gathers (one address computation per texel instead
+            # of numpy's 2D fancy-index path); same texels, same colors.
+            flat = mip.reshape(-1, mip.shape[-1])
+            r0 = y0w * w
+            r1 = y1w * w
+            c00 = flat[r0 + x0w]
+            c10 = flat[r0 + x1w]
+            c01 = flat[r1 + x0w]
+            c11 = flat[r1 + x1w]
             out[sel] = (
                 c00 * (1 - fx) * (1 - fy)
                 + c10 * fx * (1 - fy)

@@ -119,6 +119,15 @@ class ShaderInterpreter:
                 f"read of unwritten register {operand.bank}{operand.index}"
             )
         value = regs[key]
+        if operand.swizzle == (0, 1, 2, 3):
+            if operand.negate:
+                return -value
+            # Identity swizzle: skip the fancy-index copy.  The view is
+            # read-only so a subsequent full-mask _write still copies it
+            # instead of aliasing the source register.
+            view = value.view()
+            view.flags.writeable = False
+            return view
         swz = list(operand.swizzle)
         while len(swz) < 4:
             swz.append(swz[-1])  # replicate last component, ARB-style
