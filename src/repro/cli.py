@@ -12,6 +12,7 @@ Subcommands
 ``scorecard``     regenerate EXPERIMENTS.md (measured vs paper)
 ``bench``         pipeline throughput benchmark (writes BENCH_pipeline.json)
 ``farm``          inspect (``status``) or empty (``clear``) the artifact cache
+``chaos``         injected-fault recovery suite (crash/hang/corruption/...)
 
 The measurement-heavy commands (``tables``, ``figures``, ``scorecard``,
 ``simulate``) run on the execution farm: ``--jobs N`` shards the underlying
@@ -98,6 +99,7 @@ def _cmd_simulate(args) -> int:
         store=_make_store(args),
         jobs=_resolve_jobs(args),
         use_cache=not args.no_cache,
+        strict=not args.keep_going,
     )
     result = farm.run_one(JobSpec("sim", args.workload, args.frames))
     stats = result.stats
@@ -172,6 +174,12 @@ def _add_farm_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on permanent job failure, return the completed results plus "
+        "a failure report instead of aborting the batch",
+    )
 
 
 def _add_measurement_flags(
@@ -231,6 +239,7 @@ def _make_runner(args) -> Runner:
         jobs=_resolve_jobs(args),
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        strict=not args.keep_going,
     )
 
 
@@ -376,6 +385,12 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.farm.chaos import run_chaos
+
+    return run_chaos(seed=args.seed, jobs=args.jobs, only=args.only)
+
+
 def _cmd_farm(args) -> int:
     store = _make_store(args)
     if args.action == "clear":
@@ -501,6 +516,20 @@ def build_parser() -> argparse.ArgumentParser:
         "multiple of the per-triangle path",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the injected-fault recovery suite "
+        "(crash, hang, corruption, ENOSPC, ...)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument(
+        "--jobs", type=int, default=2, help="farm width inside each scenario"
+    )
+    p.add_argument(
+        "--only", nargs="*", help="subset of scenarios, e.g. crash hang"
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("farm", help="inspect or clear the artifact cache")
     p.add_argument("action", choices=["status", "clear"])

@@ -62,7 +62,9 @@ class Runner:
     (ignored when an explicit ``farm`` is passed): ``jobs=1`` keeps the
     classic serial in-process behaviour, larger values shard outstanding
     jobs across worker processes; ``use_cache=False`` disables the on-disk
-    artifact store entirely.
+    artifact store entirely.  ``strict=False`` makes batch prefetches return
+    whatever completed instead of raising on a permanently failed job; the
+    per-job cause chains land in :attr:`failure_report`.
     """
 
     def __init__(
@@ -72,13 +74,17 @@ class Runner:
         jobs: int = 1,
         use_cache: bool = True,
         cache_dir: str | None = None,
+        strict: bool = True,
     ):
         self.config = config or ExperimentConfig()
         if farm is None:
             from repro.farm import ArtifactStore
 
             farm = Farm(
-                store=ArtifactStore(cache_dir), jobs=jobs, use_cache=use_cache
+                store=ArtifactStore(cache_dir),
+                jobs=jobs,
+                use_cache=use_cache,
+                strict=strict,
             )
         self.farm = farm
         self._results: dict[JobSpec, Any] = {}
@@ -87,6 +93,11 @@ class Runner:
     @property
     def telemetry(self):
         return self.farm.telemetry
+
+    @property
+    def failure_report(self):
+        """The farm's :class:`~repro.farm.executor.FailureReport` (last run)."""
+        return self.farm.last_report
 
     # -- job plumbing ----------------------------------------------------
     def _frames(self, kind: str) -> int:

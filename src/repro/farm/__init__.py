@@ -1,4 +1,4 @@
-"""Execution farm: parallel, cached, resumable measurement runs.
+"""Execution farm: parallel, cached, resumable, fault-tolerant measurement runs.
 
 Every exhibit in the repository bottoms out in one of three measurement
 kinds — API statistics, full-pipeline simulation, or geometry-only
@@ -13,26 +13,49 @@ stopped instead of starting over.
 The cache key covers everything that can change a result: workload spec,
 seed, frame budget, GPU configuration, and a hash of the ``repro`` source
 tree — so stale artifacts are impossible by construction and ``farm clear``
-is an optimization, never a correctness requirement.
+is an optimization, never a correctness requirement.  On top of the key,
+every artifact carries a SHA-256 checksum and is re-validated against the
+pipeline's conservation invariants (:mod:`repro.farm.invariants`) on load;
+corrupt files are quarantined, never reused.  The recovery machinery —
+crash/hang/exception retry with deterministic backoff, checkpoint resume,
+graceful degradation via ``Farm(strict=False)`` and
+:class:`~repro.farm.executor.FailureReport` — is itself exercised by the
+seeded fault-injection layer (:mod:`repro.farm.faults`) and the
+``repro chaos`` end-to-end suite (:mod:`repro.farm.chaos`).
 """
 
-from repro.farm.executor import Farm, FarmError, run_job
+from repro.farm.executor import (
+    FailureReport,
+    Farm,
+    FarmError,
+    JobFailure,
+    run_job,
+)
+from repro.farm.faults import FaultPlan, FaultSpec, TransientFault
+from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec, api_job, geometry_job, sim_job
 from repro.farm.store import ArtifactStore, default_cache_dir
-from repro.farm.telemetry import FarmTelemetry, JobRecord
+from repro.farm.telemetry import FailureRecord, FarmTelemetry, JobRecord
 from repro.farm.version import code_version
 
 __all__ = [
     "ArtifactStore",
+    "FailureRecord",
+    "FailureReport",
     "Farm",
     "FarmError",
     "FarmTelemetry",
+    "FaultPlan",
+    "FaultSpec",
+    "JobFailure",
     "JobRecord",
     "JobSpec",
+    "TransientFault",
     "api_job",
     "code_version",
     "default_cache_dir",
     "geometry_job",
     "run_job",
     "sim_job",
+    "validate_result",
 ]

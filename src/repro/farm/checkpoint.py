@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.farm import faults
 from repro.farm.job import JobSpec
 from repro.farm.store import ArtifactStore
 from repro.gpu.pipeline import SimulationResult
@@ -62,7 +63,11 @@ def run_checkpointed(
                 and frames_done < job.frames
                 and frames_done % checkpoint_every == 0
             ):
-                store.save_checkpoint(job, simulator)
+                try:
+                    store.save_checkpoint(job, simulator)
+                except OSError:
+                    pass  # full/read-only cache dir: run on without snapshots
+            faults.on_frame(job.describe(), frames_done)
             if on_frame is not None:
                 on_frame(simulator, frames_done)
 

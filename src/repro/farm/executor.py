@@ -2,43 +2,107 @@
 
 Execution policy, in order:
 
-1. **Cache probe** — jobs whose artifact is already on disk are satisfied
+1. **Cache probe** — jobs whose artifact is already on disk (and passes the
+   checksum + invariant gauntlet, see :mod:`repro.farm.store`) are satisfied
    without running anything.
 2. **Parallel execution** — remaining jobs are sharded across a
    ``ProcessPoolExecutor`` (``--jobs N``, default ``os.cpu_count()``).
    Every job runs in its own process with a fresh simulator, so parallel
    results are bit-identical to serial ones.
-3. **Crash/timeout recovery** — a worker crash breaks the whole pool, so
-   the round's unfinished jobs are requeued into a fresh pool; after
-   ``retries`` broken rounds a job falls back to serial in-parent
-   execution.  A per-job timeout kills the pool's workers and requeues the
-   same way.  Exceptions *raised* by a job (as opposed to crashes) are
-   deterministic and surface immediately as :class:`FarmError`.
+3. **Crash/hang/exception recovery** — a worker crash breaks the whole
+   pool, so the round's unfinished jobs are requeued into a fresh pool; a
+   round that outlives its deadline (``timeout`` seconds per job, scaled by
+   the number of queue waves so a job waiting behind slow siblings is never
+   killed spuriously) has its workers killed and its unfinished jobs
+   requeued; exceptions *raised* by a job are requeued the same way (they
+   may be transient).  Requeue rounds are separated by exponential backoff
+   with deterministic jitter.  After ``retries`` failed attempts a job
+   falls back to serial in-parent execution.
 4. **Serial fallback** — if the pool cannot be created at all (restricted
    environments), or ``jobs=1``, everything runs in-process.
+5. **Failure accounting** — a job that still fails after the serial
+   fallback is *permanently failed*: its full cause chain is recorded in
+   telemetry and a :class:`FailureReport`.  With ``strict=True`` (the
+   default) the batch raises :class:`FarmError` after every job has been
+   given its chance; with ``strict=False`` the completed results are
+   returned and the report is left on :attr:`Farm.last_report`.
 
 Workers both persist their artifact and return it, so a completed job's
-work survives even if the parent dies while collecting results.
+work survives even if the parent dies while collecting results.  Fresh and
+cached results alike are checked against the pipeline conservation
+invariants (:mod:`repro.farm.invariants`) before they are handed out.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import os
 import time
-from concurrent.futures import CancelledError, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.farm import faults
 from repro.farm.checkpoint import build_job_workload, run_checkpointed
+from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec
 from repro.farm.store import ArtifactStore
 from repro.farm.telemetry import FarmTelemetry
 
 
 class FarmError(RuntimeError):
-    """A job failed permanently (exhausted retries and fallback)."""
+    """One or more jobs failed permanently (retries and fallback exhausted).
+
+    Carries the :class:`FailureReport` with every failed job's cause chain.
+    """
+
+    def __init__(self, message: str, report: "FailureReport | None" = None):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class JobFailure:
+    """One permanently failed job and everything that went wrong with it."""
+
+    job: JobSpec
+    causes: tuple[str, ...]
+
+    def describe(self) -> str:
+        chain = " ; then ".join(self.causes) if self.causes else "unknown cause"
+        return f"{self.job.describe()}: {chain}"
+
+
+@dataclass
+class FailureReport:
+    """Outcome summary of one :meth:`Farm.run` batch."""
+
+    failures: list[JobFailure] = field(default_factory=list)
+    completed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failed_jobs(self) -> list[JobSpec]:
+        return [failure.job for failure in self.failures]
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"all {self.completed} job(s) completed"
+        lines = [
+            f"{len(self.failures)} job(s) failed permanently, "
+            f"{self.completed} completed:"
+        ]
+        lines += [f"  {failure.describe()}" for failure in self.failures]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -57,8 +121,11 @@ def run_job(
 
     Probes the cache first so retried or restarted workers never redo
     finished work, and persists the artifact before returning so the result
-    survives a parent crash.
+    survives a parent crash.  Fault-injection hooks fire here so the chaos
+    suite can kill, hang, or trip the worker at a controlled point.
     """
+    faults.reset_native_if_planned()
+    faults.on_job_start(job.describe())
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
     if store is not None:
         cached = store.load(job)
@@ -75,7 +142,7 @@ def run_job(
         try:
             store.save(job, result, wall_s=wall_s)
         except OSError:
-            pass  # read-only cache dir: the computation still succeeded
+            pass  # full or read-only cache dir: the computation still succeeded
     return JobOutcome(result, wall_s)
 
 
@@ -91,6 +158,9 @@ class Farm:
         timeout: float | None = None,
         checkpoint_every: int = 1,
         telemetry: FarmTelemetry | None = None,
+        strict: bool = True,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
@@ -99,6 +169,10 @@ class Farm:
         self.timeout = timeout
         self.checkpoint_every = checkpoint_every
         self.telemetry = telemetry if telemetry is not None else FarmTelemetry()
+        self.strict = strict
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.last_report = FailureReport()
 
     @property
     def cache_dir(self) -> str | None:
@@ -107,12 +181,25 @@ class Farm:
 
     # -- public API -----------------------------------------------------
     def run_one(self, job: JobSpec, worker: Callable = run_job) -> Any:
-        return self.run([job], worker=worker)[job]
+        results = self.run([job], worker=worker)
+        if job not in results:  # only reachable with strict=False
+            raise FarmError(self.last_report.summary(), self.last_report)
+        return results[job]
 
     def run(
         self, jobs: list[JobSpec], worker: Callable = run_job
     ) -> dict[JobSpec, Any]:
-        """Execute ``jobs`` (deduplicated) and return ``{job: result}``."""
+        """Execute ``jobs`` (deduplicated) and return ``{job: result}``.
+
+        With ``strict=True`` a permanent job failure raises
+        :class:`FarmError` — after every other job has run to completion,
+        so one bad job never discards its siblings' work.  With
+        ``strict=False`` the completed subset is returned and the
+        :class:`FailureReport` is available on :attr:`last_report`.
+        """
+        report = FailureReport()
+        self.last_report = report
+        causes: dict[JobSpec, list[str]] = {}
         results: dict[JobSpec, Any] = {}
         pending: list[JobSpec] = []
         for job in jobs:
@@ -132,13 +219,53 @@ class Farm:
                     continue
             pending.append(job)
 
-        if not pending:
-            return results
-        if self.jobs <= 1 or len(pending) == 1:
-            self._run_serial(pending, worker, results, source="serial")
-        else:
-            self._run_parallel(pending, worker, results)
+        if pending:
+            if self.jobs <= 1 or len(pending) == 1:
+                failed = self._run_serial(
+                    pending, worker, results, source="serial", causes=causes
+                )
+                self._record_failures(report, failed, causes)
+            else:
+                self._run_parallel(pending, worker, results, causes, report)
+
+        report.completed = len(results)
+        if report.failures and self.strict:
+            raise FarmError(report.summary(), report)
         return results
+
+    # -- failure bookkeeping --------------------------------------------
+    @staticmethod
+    def _note(causes: dict[JobSpec, list[str]], job: JobSpec, cause: str) -> None:
+        causes.setdefault(job, []).append(cause)
+
+    def _record_failures(
+        self,
+        report: FailureReport,
+        failed: list[JobSpec],
+        causes: dict[JobSpec, list[str]],
+    ) -> None:
+        for job in failed:
+            chain = tuple(causes.get(job, ()))
+            report.failures.append(JobFailure(job, chain))
+            self.telemetry.record_failure(job.describe(), job.key(), chain)
+
+    def _validate(self, job: JobSpec, outcome: Any) -> list[str]:
+        result = outcome.result if isinstance(outcome, JobOutcome) else outcome
+        return validate_result(job, result)
+
+    def _backoff(self, round_no: int, round_jobs: list[JobSpec]) -> None:
+        """Exponential backoff with deterministic jitter between requeues.
+
+        The jitter is seeded from the round's job keys, so a given batch
+        always waits the same amount — reruns stay reproducible while
+        distinct batches still desynchronize.
+        """
+        if self.backoff_base <= 0:
+            return
+        delay = min(self.backoff_max, self.backoff_base * (2 ** (round_no - 1)))
+        seed = ",".join(sorted(job.key() for job in round_jobs)) + f"#{round_no}"
+        digest = int(hashlib.sha256(seed.encode()).hexdigest()[:8], 16)
+        time.sleep(delay * (0.5 + (digest % 1000) / 1000.0))
 
     # -- execution strategies -------------------------------------------
     def _harvest(
@@ -149,6 +276,7 @@ class Farm:
         source: str,
         attempts: int,
         parent_wall: float,
+        causes: tuple[str, ...] = (),
     ) -> None:
         if isinstance(outcome, JobOutcome):
             wall = outcome.wall_s if not outcome.from_cache else parent_wall
@@ -158,7 +286,9 @@ class Farm:
         else:  # custom worker returning a bare value
             wall = parent_wall
             results[job] = outcome
-        self.telemetry.record(job.describe(), job.key(), source, wall, attempts)
+        self.telemetry.record(
+            job.describe(), job.key(), source, wall, attempts, causes
+        )
 
     def _run_serial(
         self,
@@ -167,27 +297,61 @@ class Farm:
         results: dict,
         source: str,
         attempts: dict[JobSpec, int] | None = None,
-    ) -> None:
+        causes: dict[JobSpec, list[str]] | None = None,
+    ) -> list[JobSpec]:
+        """Run ``batch`` in-process; returns the jobs that failed."""
+        attempts = attempts if attempts is not None else {}
+        causes = causes if causes is not None else {}
+        failed: list[JobSpec] = []
         for job in batch:
             start = time.perf_counter()
-            outcome = worker(job, self.cache_dir, self.checkpoint_every)
+            try:
+                outcome = worker(job, self.cache_dir, self.checkpoint_every)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                attempts[job] = attempts.get(job, 0) + 1
+                self._note(causes, job, f"{source}: {type(exc).__name__}: {exc}")
+                failed.append(job)
+                continue
+            attempts[job] = attempts.get(job, 0) + 1
+            violations = self._validate(job, outcome)
+            if violations:
+                self._note(
+                    causes,
+                    job,
+                    f"{source}: invariant violation: " + "; ".join(violations),
+                )
+                failed.append(job)
+                continue
             self._harvest(
                 job,
                 outcome,
                 results,
                 source,
-                (attempts or {}).get(job, 0) + 1,
+                attempts[job],
                 time.perf_counter() - start,
+                tuple(causes.get(job, ())),
             )
+        return failed
 
     def _run_parallel(
-        self, batch: list[JobSpec], worker: Callable, results: dict
+        self,
+        batch: list[JobSpec],
+        worker: Callable,
+        results: dict,
+        causes: dict[JobSpec, list[str]],
+        report: FailureReport,
     ) -> None:
         attempts = dict.fromkeys(batch, 0)
         remaining = list(batch)
         fallback: list[JobSpec] = []
+        round_no = 0
         while remaining:
             round_jobs, remaining = remaining, []
+            round_no += 1
+            if round_no > 1:
+                self._backoff(round_no - 1, round_jobs)
             try:
                 pool = ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(round_jobs))
@@ -195,60 +359,104 @@ class Farm:
             except (OSError, ValueError):  # no multiprocessing available
                 fallback.extend(round_jobs)
                 break
-            broken = False
             try:
-                futures = [
-                    (
-                        job,
-                        pool.submit(
-                            worker, job, self.cache_dir, self.checkpoint_every
-                        ),
-                    )
+                futures = {
+                    pool.submit(
+                        worker, job, self.cache_dir, self.checkpoint_every
+                    ): job
                     for job in round_jobs
-                ]
-                for job, future in futures:
-                    start = time.perf_counter()
-                    try:
-                        outcome = future.result(
-                            timeout=0 if broken else self.timeout
-                        )
-                    except FutureTimeout:
-                        broken = True
-                        self._kill_workers(pool)
-                        self._requeue(job, attempts, remaining, fallback)
-                    except (BrokenProcessPool, CancelledError):
-                        broken = True
-                        self._requeue(job, attempts, remaining, fallback)
-                    except KeyboardInterrupt:
-                        self._kill_workers(pool)
-                        raise
-                    except Exception as exc:
-                        raise FarmError(
-                            f"job {job.describe()} raised "
-                            f"{type(exc).__name__}: {exc}"
-                        ) from exc
-                    else:
-                        attempts[job] += 1
-                        self._harvest(
-                            job,
-                            outcome,
-                            results,
-                            "parallel",
-                            attempts[job],
-                            time.perf_counter() - start,
-                        )
-            finally:
-                pool.shutdown(wait=not broken, cancel_futures=True)
-        if fallback:
-            try:
-                self._run_serial(
-                    fallback, worker, results, "fallback", attempts
+                }
+                self._collect_round(
+                    pool, futures, attempts, results, remaining, fallback, causes
                 )
-            except Exception as exc:
-                raise FarmError(
-                    f"{len(fallback)} job(s) failed after {self.retries} "
-                    f"pool attempts and a serial fallback"
-                ) from exc
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+        if fallback:
+            failed = self._run_serial(
+                fallback, worker, results, "fallback", attempts, causes
+            )
+            self._record_failures(report, failed, causes)
+
+    def _collect_round(
+        self,
+        pool: ProcessPoolExecutor,
+        futures: dict,
+        attempts: dict[JobSpec, int],
+        results: dict,
+        remaining: list[JobSpec],
+        fallback: list[JobSpec],
+        causes: dict[JobSpec, list[str]],
+    ) -> None:
+        """Harvest one pool round under a shared deadline.
+
+        The deadline is ``timeout`` seconds *per queue wave*
+        (``ceil(jobs / workers)``), measured from round start — so the
+        clock covers execution, not position in the collection order, and
+        a job that queued behind slow siblings is never killed spuriously.
+        Finished futures are always harvested before the deadline is
+        enforced, so completed work survives even an expired round.
+        """
+        deadline = None
+        if self.timeout is not None:
+            workers = getattr(pool, "_max_workers", None) or 1
+            waves = max(1, math.ceil(len(futures) / workers))
+            deadline = time.monotonic() + self.timeout * waves
+        round_start = time.monotonic()
+        pending = set(futures)
+        while pending:
+            budget = None
+            if deadline is not None:
+                budget = max(0.0, deadline - time.monotonic())
+            done, pending = wait(
+                pending, timeout=budget, return_when=FIRST_COMPLETED
+            )
+            if not done:  # deadline expired with jobs still in flight
+                self._kill_workers(pool)
+                for future in pending:
+                    job = futures[future]
+                    self._note(
+                        causes,
+                        job,
+                        f"hung (round deadline of {self.timeout:g}s/job "
+                        "exceeded); workers killed",
+                    )
+                    self._requeue(job, attempts, remaining, fallback)
+                return
+            for future in done:
+                job = futures[future]
+                try:
+                    outcome = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    self._note(causes, job, "worker process died (pool broken)")
+                    self._requeue(job, attempts, remaining, fallback)
+                except KeyboardInterrupt:
+                    self._kill_workers(pool)
+                    raise
+                except Exception as exc:
+                    self._note(causes, job, f"{type(exc).__name__}: {exc}")
+                    self._requeue(job, attempts, remaining, fallback)
+                else:
+                    attempts[job] += 1
+                    violations = self._validate(job, outcome)
+                    if violations:
+                        self._note(
+                            causes,
+                            job,
+                            "invariant violation: " + "; ".join(violations),
+                        )
+                        self._requeue(
+                            job, attempts, remaining, fallback, count=False
+                        )
+                        continue
+                    self._harvest(
+                        job,
+                        outcome,
+                        results,
+                        "parallel",
+                        attempts[job],
+                        time.monotonic() - round_start,
+                        tuple(causes.get(job, ())),
+                    )
 
     def _requeue(
         self,
@@ -256,8 +464,10 @@ class Farm:
         attempts: dict[JobSpec, int],
         remaining: list[JobSpec],
         fallback: list[JobSpec],
+        count: bool = True,
     ) -> None:
-        attempts[job] += 1
+        if count:
+            attempts[job] += 1
         if attempts[job] >= self.retries:
             fallback.append(job)
         else:

@@ -1,0 +1,139 @@
+"""Semantic integrity checks for measurement artifacts.
+
+A checksum proves the bytes on disk are the bytes that were written; it says
+nothing about whether those bytes describe a *believable* measurement.  This
+module checks the pipeline's conservation laws on a decoded result — the
+quantities that must balance no matter what the workload did:
+
+* per-frame counters sum to the whole-run totals (the merge invariant);
+* every rasterized quad lands in exactly one Table-IX fate bucket, so the
+  fate counts sum to ``quads_rasterized``;
+* no downstream stage processes more fragments than rasterization produced,
+  and the vertex cache never hits more than it is referenced;
+* every cache's ``hits + misses`` equals its reference-stream length (the
+  ``accesses`` counter), which guards the stream-collapse optimizations in
+  :mod:`repro.gpu.caches`;
+* the result answers the job that was asked: right workload, right frame
+  budget.
+
+The farm runs these on every artifact it loads *and* every result it
+computes, so a corrupt-but-unpicklable artifact, a stale foreign pickle, or
+a miscounting pipeline all surface as explicit violations instead of
+silently poisoning a table.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.gpu.stats import _COUNTER_FIELDS
+
+
+def validate_result(job: Any, result: Any) -> list[str]:
+    """Check ``result`` against the invariants its type promises.
+
+    ``job`` may be ``None`` (skips the job-identity checks) or anything
+    with ``kind`` / ``workload`` / ``frames`` attributes.  Unknown result
+    types (custom test workers return bare strings) validate trivially.
+    Returns a list of human-readable violations; empty means valid.
+    """
+    if hasattr(result, "stats") and hasattr(result, "frame_stats"):
+        return _validate_simulation(job, result)
+    if hasattr(result, "frame_count") and hasattr(result, "frames"):
+        return _validate_api(job, result)
+    return []
+
+
+def _validate_simulation(job: Any, result: Any) -> list[str]:
+    violations: list[str] = []
+    stats = result.stats
+
+    frames = getattr(job, "frames", None)
+    if frames is not None and stats.frames != frames:
+        violations.append(
+            f"frame budget mismatch: result has {stats.frames} frames, "
+            f"job asked for {frames}"
+        )
+    if len(result.frame_stats) != stats.frames:
+        violations.append(
+            f"{len(result.frame_stats)} per-frame records for "
+            f"{stats.frames} frames"
+        )
+
+    # Merge invariant: per-frame counters sum to the run totals.
+    for name in _COUNTER_FIELDS:
+        total = getattr(stats, name)
+        if total < 0:
+            violations.append(f"negative counter {name} = {total}")
+        frame_sum = sum(getattr(f, name) for f in result.frame_stats)
+        if frame_sum != total:
+            violations.append(
+                f"counter {name}: frames sum to {frame_sum}, total is {total}"
+            )
+
+    # Quad conservation: every rasterized quad has exactly one fate.
+    fate_sum = sum(stats.quad_fates.values())
+    if fate_sum != stats.quads_rasterized:
+        violations.append(
+            f"quad fates sum to {fate_sum}, "
+            f"{stats.quads_rasterized} quads were rasterized"
+        )
+    merged: dict = {}
+    for frame in result.frame_stats:
+        for fate, count in frame.quad_fates.items():
+            merged[fate] = merged.get(fate, 0) + count
+    if merged != stats.quad_fates:
+        violations.append("per-frame quad fates do not merge to the totals")
+
+    # Fragment conservation: stages only ever kill fragments.
+    produced = stats.fragments_rasterized
+    for name in ("fragments_zstencil", "fragments_shaded", "fragments_blended"):
+        count = getattr(stats, name)
+        if count > produced:
+            violations.append(
+                f"{name} = {count} exceeds fragments_rasterized = {produced}"
+            )
+
+    if stats.vertex_cache_hits > stats.vertex_cache_references:
+        violations.append(
+            f"vertex cache hits ({stats.vertex_cache_hits}) exceed "
+            f"references ({stats.vertex_cache_references})"
+        )
+
+    # Cache conservation: hits + misses accounts for every reference.
+    for name, cache in getattr(result, "caches", {}).items():
+        accesses = getattr(cache, "accesses", None)
+        if accesses is None:
+            continue  # artifact predates the accesses counter
+        if cache.hits + cache.misses != accesses:
+            violations.append(
+                f"cache {name}: hits ({cache.hits}) + misses "
+                f"({cache.misses}) != accesses ({accesses})"
+            )
+        if cache.hits < 0 or cache.misses < 0:
+            violations.append(f"cache {name}: negative hit/miss counters")
+
+    return violations
+
+
+def _validate_api(job: Any, result: Any) -> list[str]:
+    violations: list[str] = []
+    frames = getattr(job, "frames", None)
+    if frames is not None and result.frame_count != frames:
+        violations.append(
+            f"frame budget mismatch: result has {result.frame_count} "
+            f"frames, job asked for {frames}"
+        )
+    workload = getattr(job, "workload", None)
+    if workload is not None and result.name != workload:
+        violations.append(
+            f"workload mismatch: result is for {result.name!r}, "
+            f"job asked for {workload!r}"
+        )
+    if result.total_batches < 0 or result.total_indices < 0:
+        violations.append("negative API counters")
+    for frame in result.frames:
+        if frame.batches < 0 or frame.indices < 0:
+            violations.append("negative per-frame API counters")
+            break
+    return violations

@@ -3,18 +3,29 @@
 Layout under the cache root (``.repro-cache/`` by default,
 ``REPRO_CACHE_DIR`` override)::
 
-    artifacts/<key>.pkl     pickled WorkloadApiStats / SimulationResult
-    artifacts/<key>.json    metadata sidecar (job, wall time, code version)
-    checkpoints/<key>.ckpt  pickled mid-run simulator state (sim jobs)
+    artifacts/<key>.pkl        pickled WorkloadApiStats / SimulationResult
+    artifacts/<key>.json       metadata sidecar (job, wall time, SHA-256)
+    checkpoints/<key>.ckpt     pickled mid-run simulator state (sim jobs)
+    checkpoints/<key>.meta.json  checkpoint SHA-256 sidecar
+    quarantine/                corrupt files moved aside, never reused
 
 Writes are atomic (temp file + ``os.replace``) so a killed process never
 leaves a half-written artifact, and keys embed the full invalidation
 surface (see :meth:`repro.farm.job.JobSpec.key`), so a load either returns
 the exact result the job would recompute or nothing.
+
+Loads trust nothing: the pickle bytes are checked against the SHA-256
+recorded in the sidecar at save time, decoding catches the whole family of
+exceptions truncated or garbage bytes can raise, and decoded results are
+passed through :func:`repro.farm.invariants.validate_result`.  Anything
+that fails is moved into ``quarantine/`` (with the reason logged) and
+reported as a miss — corruption is preserved as evidence and recomputed
+around, never silently reused and never silently deleted.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -23,11 +34,29 @@ import tempfile
 import time
 from typing import Any
 
+from repro.farm import faults
+from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec
 from repro.farm.version import code_version
 
 #: Default cache directory name, relative to the current working directory.
 DEFAULT_DIRNAME = ".repro-cache"
+
+#: Everything unpickling truncated/garbage/foreign bytes is known to raise.
+#: ``MemoryError`` belongs here: a corrupted length prefix can demand an
+#: absurd allocation long before any opcode fails to parse.
+UNPICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ValueError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    MemoryError,
+    UnicodeDecodeError,
+)
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -58,6 +87,7 @@ class ArtifactStore:
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # -- paths ----------------------------------------------------------
     @property
@@ -68,6 +98,10 @@ class ArtifactStore:
     def checkpoint_dir(self) -> pathlib.Path:
         return self.root / "checkpoints"
 
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
     def artifact_path(self, job: JobSpec) -> pathlib.Path:
         return self.artifact_dir / f"{job.key()}.pkl"
 
@@ -77,23 +111,101 @@ class ArtifactStore:
     def checkpoint_path(self, job: JobSpec) -> pathlib.Path:
         return self.checkpoint_dir / f"{job.key()}.ckpt"
 
+    def checkpoint_meta_path(self, job: JobSpec) -> pathlib.Path:
+        return self.checkpoint_dir / f"{job.key()}.meta.json"
+
+    # -- quarantine ------------------------------------------------------
+    def quarantine(self, paths: list[pathlib.Path], reason: str) -> None:
+        """Move corrupt files aside so they are never loaded again.
+
+        Best effort by design: on an unwritable volume the files cannot be
+        moved *or* deleted, but the caller already treats them as a miss,
+        and the checksum/decode gauntlet will reject them again next time.
+        """
+        self.quarantined += 1
+        names = [p.name for p in paths if p.exists()]
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        for path in paths:
+            try:
+                if path.exists():
+                    os.replace(path, self.quarantine_dir / path.name)
+            except OSError:
+                pass
+        try:
+            with (self.quarantine_dir / "REASONS.log").open("a") as log:
+                log.write(f"{time.time():.0f} {','.join(names) or '?'}: {reason}\n")
+        except OSError:
+            pass
+
+    def quarantined_files(self) -> list[pathlib.Path]:
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.quarantine_dir.iterdir() if p.name != "REASONS.log"
+        )
+
     # -- artifacts ------------------------------------------------------
-    def load(self, job: JobSpec) -> Any | None:
-        """The stored result for ``job``, or ``None`` on miss/corruption."""
+    def _read_meta(self, job: JobSpec) -> dict:
+        try:
+            return json.loads(self.meta_path(job).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def load(self, job: JobSpec, validate: bool = True) -> Any | None:
+        """The stored result for ``job``, or ``None`` on miss/corruption.
+
+        Corrupt or invariant-violating artifacts are quarantined (see
+        :meth:`quarantine`) — a bad artifact is never returned and never
+        left in place to be trusted by a later load.
+        """
         path = self.artifact_path(job)
         try:
-            with path.open("rb") as handle:
-                result = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = path.read_bytes()
+        except OSError:
             self.misses += 1
             return None
+        meta = self._read_meta(job)
+        expected = meta.get("sha256")
+        if expected is not None:
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != expected:
+                self.quarantine(
+                    [path, self.meta_path(job)],
+                    f"artifact checksum mismatch ({digest[:12]} != "
+                    f"{expected[:12]}) for {job.describe()}",
+                )
+                self.misses += 1
+                return None
+        try:
+            result = pickle.loads(blob)
+        except UNPICKLE_ERRORS as exc:
+            self.quarantine(
+                [path, self.meta_path(job)],
+                f"artifact undecodable ({type(exc).__name__}: {exc}) "
+                f"for {job.describe()}",
+            )
+            self.misses += 1
+            return None
+        if validate:
+            violations = validate_result(job, result)
+            if violations:
+                self.quarantine(
+                    [path, self.meta_path(job)],
+                    f"artifact invariant violation for {job.describe()}: "
+                    + "; ".join(violations),
+                )
+                self.misses += 1
+                return None
         self.hits += 1
         return result
 
     def save(self, job: JobSpec, result: Any, wall_s: float | None = None) -> None:
-        _atomic_write(
-            self.artifact_path(job), pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        )
+        faults.check_writable(f"artifact:{job.describe()}")
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write(self.artifact_path(job), blob)
         meta = {
             "key": job.key(),
             "kind": job.kind,
@@ -101,34 +213,70 @@ class ArtifactStore:
             "frames": job.frames,
             "seed": job.seed,
             "wall_s": wall_s,
+            "sha256": hashlib.sha256(blob).hexdigest(),
             "code": code_version(),
             "created": time.time(),
         }
         _atomic_write(self.meta_path(job), json.dumps(meta, indent=1).encode())
+        faults.corrupt_file(
+            "corrupt_artifact", self.artifact_path(job), job.describe()
+        )
 
     def contains(self, job: JobSpec) -> bool:
         return self.artifact_path(job).exists()
 
     # -- checkpoints ----------------------------------------------------
     def load_checkpoint(self, job: JobSpec) -> Any | None:
+        """The checkpointed simulator for ``job``, or ``None``.
+
+        Verified against the SHA-256 sidecar like artifacts; a corrupt
+        checkpoint is quarantined and the caller restarts from frame zero
+        (which is always correct, just slower).
+        """
         path = self.checkpoint_path(job)
         try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        expected = None
+        try:
+            expected = json.loads(self.checkpoint_meta_path(job).read_text()).get(
+                "sha256"
+            )
+        except (OSError, json.JSONDecodeError):
+            pass
+        if expected is not None and hashlib.sha256(blob).hexdigest() != expected:
+            self.quarantine(
+                [path, self.checkpoint_meta_path(job)],
+                f"checkpoint checksum mismatch for {job.describe()}",
+            )
+            return None
+        try:
+            return pickle.loads(blob)
+        except UNPICKLE_ERRORS as exc:
+            self.quarantine(
+                [path, self.checkpoint_meta_path(job)],
+                f"checkpoint undecodable ({type(exc).__name__}: {exc}) "
+                f"for {job.describe()}",
+            )
             return None
 
     def save_checkpoint(self, job: JobSpec, state: Any) -> None:
-        _atomic_write(
-            self.checkpoint_path(job),
-            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+        faults.check_writable(f"checkpoint:{job.describe()}")
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write(self.checkpoint_path(job), blob)
+        meta = {"sha256": hashlib.sha256(blob).hexdigest(), "created": time.time()}
+        _atomic_write(self.checkpoint_meta_path(job), json.dumps(meta).encode())
+        faults.corrupt_file(
+            "corrupt_checkpoint", self.checkpoint_path(job), job.describe()
         )
 
     def clear_checkpoint(self, job: JobSpec) -> None:
-        try:
-            self.checkpoint_path(job).unlink()
-        except OSError:
-            pass
+        for path in (self.checkpoint_path(job), self.checkpoint_meta_path(job)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     # -- inspection / maintenance ---------------------------------------
     def entries(self) -> list[dict]:
@@ -156,9 +304,13 @@ class ArtifactStore:
         return sum(m["bytes"] for m in self.entries())
 
     def clear(self) -> int:
-        """Delete every artifact and checkpoint; returns files removed."""
+        """Delete every artifact, checkpoint, and quarantined file."""
         removed = 0
-        for directory in (self.artifact_dir, self.checkpoint_dir):
+        for directory in (
+            self.artifact_dir,
+            self.checkpoint_dir,
+            self.quarantine_dir,
+        ):
             if not directory.is_dir():
                 continue
             for path in directory.iterdir():

@@ -1,4 +1,4 @@
-"""Per-job wall-time and cache accounting for farm runs."""
+"""Per-job wall-time, cache, and failure-cause accounting for farm runs."""
 
 from __future__ import annotations
 
@@ -16,6 +16,16 @@ class JobRecord:
     source: str  # "cache" | "parallel" | "serial" | "fallback"
     wall_s: float
     attempts: int = 1
+    causes: tuple[str, ...] = ()  # transient failures overcome on the way
+
+
+@dataclass
+class FailureRecord:
+    """A job that failed permanently, with its chronological cause chain."""
+
+    job: str
+    key: str
+    causes: tuple[str, ...] = ()
 
 
 @dataclass
@@ -23,11 +33,23 @@ class FarmTelemetry:
     """Aggregated over one farm invocation (or one Runner lifetime)."""
 
     records: list[JobRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
 
     def record(
-        self, job, key: str, source: str, wall_s: float, attempts: int = 1
+        self,
+        job,
+        key: str,
+        source: str,
+        wall_s: float,
+        attempts: int = 1,
+        causes: tuple[str, ...] = (),
     ) -> None:
-        self.records.append(JobRecord(job, key, source, wall_s, attempts))
+        self.records.append(JobRecord(job, key, source, wall_s, attempts, causes))
+
+    def record_failure(
+        self, job, key: str, causes: tuple[str, ...] = ()
+    ) -> None:
+        self.failures.append(FailureRecord(job, key, causes))
 
     # -- counters -------------------------------------------------------
     @property
@@ -46,19 +68,46 @@ class FarmTelemetry:
     def retries(self) -> int:
         return sum(r.attempts - 1 for r in self.records)
 
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
     # -- rendering ------------------------------------------------------
     def summary_line(self) -> str:
-        return (
+        line = (
             f"farm: {len(self.records)} jobs, {self.cache_hits} cache hits, "
             f"{self.cache_misses} executed, {self.retries} retries, "
             f"{self.total_wall_s:.1f}s job wall time"
         )
+        if self.failures:
+            line += f", {self.failed} FAILED"
+        return line
 
     def summary_table(self, title: str = "Farm job summary") -> str:
         rows = [
-            [r.job, r.key[:12], r.source, f"{r.wall_s:.2f}", r.attempts]
+            [
+                r.job,
+                r.key[:12],
+                r.source,
+                f"{r.wall_s:.2f}",
+                r.attempts,
+                r.causes[-1] if r.causes else "",
+            ]
             for r in self.records
         ]
+        rows += [
+            [
+                f.job,
+                f.key[:12],
+                "FAILED",
+                "-",
+                len(f.causes),
+                f.causes[-1] if f.causes else "",
+            ]
+            for f in self.failures
+        ]
         return format_table(
-            ["job", "key", "source", "wall s", "attempts"], rows, title=title
+            ["job", "key", "source", "wall s", "attempts", "last cause"],
+            rows,
+            title=title,
         )

@@ -436,12 +436,40 @@ def _load() -> ctypes.CDLL | None:
     return None
 
 
+def _fault_blocked() -> bool:
+    """Whether an injected fault plan disables the native build.
+
+    Imported lazily: this module is loaded early in the ``repro.gpu``
+    import chain, and the fault layer lives in ``repro.farm`` — a runtime
+    import here keeps the module graph acyclic.
+    """
+    if "REPRO_FAULTS" not in os.environ:
+        return False
+    try:
+        from repro.farm.faults import native_compile_fault
+
+        return native_compile_fault()
+    except Exception:
+        return False
+
+
+def _reset() -> None:
+    """Forget the cached probe so the next :func:`available` re-evaluates.
+
+    Used by the fault-injection layer (forked pool workers inherit the
+    parent's probe result) and by tests.
+    """
+    global _lib, _tried
+    _lib = None
+    _tried = False
+
+
 def available() -> bool:
     """Whether the compiled kernel can be used (lazy one-time build)."""
     global _lib, _tried
     if not _tried:
         _tried = True
-        if os.environ.get("REPRO_NO_NATIVE"):
+        if os.environ.get("REPRO_NO_NATIVE") or _fault_blocked():
             _lib = None
         else:
             _lib = _load()

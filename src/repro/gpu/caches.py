@@ -53,6 +53,11 @@ class Cache:
         self._evict_buf = np.empty(0, dtype=np.int64)
         self.hits = 0
         self.misses = 0
+        # Raw reference count, *before* the duplicate/alternation collapse
+        # passes.  ``hits + misses == accesses`` is a conservation invariant
+        # (checked by repro.farm.invariants): every collapse optimization
+        # must still account each dropped reference as a hit.
+        self.accesses = 0
 
     @property
     def hit_rate(self) -> float:
@@ -73,6 +78,7 @@ class Cache:
 
     def access_line(self, line: int, write: bool = False) -> tuple[bool, int | None]:
         """Like :meth:`access` but takes a pre-computed line index."""
+        self.accesses += 1
         cache_set = self._sets[line % self._nsets]
         if line in cache_set:
             self.hits += 1
@@ -102,6 +108,7 @@ class Cache:
         lines = np.asarray(lines).reshape(-1)
         if lines.size == 0:
             return StreamResult(0, [], [])
+        self.accesses += int(lines.size)
         if lines.size < _NATIVE_MIN_STREAM:
             # Short streams (per-triangle color groups dominate): the Python
             # loop on the raw stream beats the numpy collapse passes, and the
@@ -150,6 +157,7 @@ class Cache:
         writes = np.asarray(writes, dtype=bool).reshape(-1)
         if lines.size == 0:
             return StreamResult(0, [], [])
+        self.accesses += int(lines.size)
         if lines.size < _NATIVE_MIN_STREAM:
             return self._run_python_flags(lines.tolist(), writes.tolist())
         boundaries = np.empty(lines.shape, dtype=bool)

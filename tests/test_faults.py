@@ -1,0 +1,338 @@
+"""Tests for fault injection, artifact integrity, and graceful degradation.
+
+Four layers, bottom-up:
+
+* the injector itself — plan serialization, env installation, cross-process
+  ``times`` accounting, deterministic corruption;
+* store integrity — checksum/decode/invariant gauntlet, quarantine,
+  legacy artifacts without checksums;
+* the conservation invariants — clean results pass, tampered ones don't;
+* end-to-end recovery — every satellite fault class (crash, hang, corrupt
+  artifact, truncated checkpoint, unwritable cache, native-compile failure)
+  recovers results bit-identical to a fault-free run, plus the
+  ``strict=False`` degradation contract.
+
+The end-to-end cases run the shared ``repro chaos`` scenarios (the same
+code ``python -m repro chaos`` executes), against one module-scoped
+fault-free reference batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.farm import (
+    ArtifactStore,
+    Farm,
+    FarmError,
+    FaultPlan,
+    FaultSpec,
+    api_job,
+    run_job,
+    sim_job,
+    validate_result,
+)
+from repro.farm import chaos, faults
+
+WORKLOAD = "UT2004/Primeval"
+OTHER = "Doom3/trdemo2"
+
+
+def _plan(tmp_path, *specs, seed=0):
+    return FaultPlan(
+        faults=tuple(specs), seed=seed, state_dir=str(tmp_path / "fault-state")
+    )
+
+
+# -- the injector -----------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("crash", match="sim", times=2, frame=3),
+                FaultSpec("unwritable", error="EROFS"),
+            ),
+            seed=7,
+            state_dir="/tmp/somewhere",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor-strike")
+
+    def test_injected_installs_and_restores_env(self, tmp_path):
+        assert faults.active() is None
+        plan = _plan(tmp_path, FaultSpec("exception"))
+        with faults.injected(plan) as installed:
+            assert faults.active() == installed
+            assert os.environ[faults.ENV_VAR] == installed.to_json()
+        assert faults.active() is None
+        assert faults.ENV_VAR not in os.environ
+
+    def test_times_claimed_across_calls(self, tmp_path):
+        plan = _plan(tmp_path, FaultSpec("exception", times=2))
+        with faults.injected(plan):
+            assert faults.fire("exception") is not None
+            assert faults.fire("exception") is not None
+            assert faults.fire("exception") is None  # both slots claimed
+
+    def test_times_zero_is_unlimited(self, tmp_path):
+        plan = _plan(tmp_path, FaultSpec("exception", times=0))
+        with faults.injected(plan):
+            assert all(faults.fire("exception") for _ in range(5))
+
+    def test_match_filters_by_label(self, tmp_path):
+        plan = _plan(tmp_path, FaultSpec("exception", match="sim", times=0))
+        with faults.injected(plan):
+            assert faults.fire("exception", "api:UT2004/Primeval@2f") is None
+            assert faults.fire("exception", "sim:UT2004/Primeval@2f")
+
+    def test_frame_targeting(self, tmp_path):
+        plan = _plan(tmp_path, FaultSpec("exception", times=0, frame=2))
+        with faults.injected(plan):
+            assert faults.fire("exception") is None  # job-entry site
+            assert faults.fire("exception", frame=1) is None
+            assert faults.fire("exception", frame=2)
+
+    def test_bitflip_is_deterministic_and_single_bit(self, tmp_path):
+        payload = bytes(range(256)) * 4
+        damaged = []
+        for attempt in ("a", "b"):
+            target = tmp_path / attempt / "blob.bin"
+            target.parent.mkdir()
+            target.write_bytes(payload)
+            plan = _plan(
+                tmp_path / attempt,
+                FaultSpec("corrupt_artifact", mode="bitflip"),
+                seed=3,
+            )
+            with faults.injected(plan):
+                assert faults.corrupt_file("corrupt_artifact", target)
+            damaged.append(target.read_bytes())
+        assert damaged[0] == damaged[1]  # same seed + name => same damage
+        diff = [
+            i for i, (a, b) in enumerate(zip(payload, damaged[0])) if a != b
+        ]
+        assert len(diff) == 1
+        assert bin(payload[diff[0]] ^ damaged[0][diff[0]]).count("1") == 1
+
+    def test_no_plan_is_a_no_op(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        target.write_bytes(b"payload")
+        assert faults.fire("exception") is None
+        assert not faults.corrupt_file("corrupt_artifact", target)
+        faults.check_writable("anything")  # must not raise
+        assert target.read_bytes() == b"payload"
+
+
+# -- store integrity --------------------------------------------------------
+
+
+class TestStoreIntegrity:
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        job = api_job(WORKLOAD, 2)
+        store = ArtifactStore(tmp_path)
+        store.save(job, "placeholder")
+        blob = bytearray(store.artifact_path(job).read_bytes())
+        blob[len(blob) // 2] ^= 0x40  # single flipped bit on disk
+        store.artifact_path(job).write_bytes(bytes(blob))
+
+        assert store.load(job) is None
+        assert store.misses == 1
+        assert store.quarantined == 1
+        assert not store.artifact_path(job).exists()  # moved, not left behind
+        names = {p.name for p in store.quarantined_files()}
+        assert names == {f"{job.key()}.pkl", f"{job.key()}.json"}
+        log = (store.quarantine_dir / "REASONS.log").read_text()
+        assert "checksum mismatch" in log
+
+    def test_undecodable_artifact_quarantined(self, tmp_path):
+        job = api_job(WORKLOAD, 2)
+        store = ArtifactStore(tmp_path)
+        store.save(job, "placeholder")
+        store.artifact_path(job).write_bytes(b"\x80\x05garbage")
+        meta = json.loads(store.meta_path(job).read_text())
+        del meta["sha256"]  # legacy sidecar: decode errors must still catch it
+        store.meta_path(job).write_text(json.dumps(meta))
+
+        assert store.load(job) is None
+        assert store.quarantined == 1
+        assert "undecodable" in (store.quarantine_dir / "REASONS.log").read_text()
+
+    def test_legacy_meta_without_checksum_still_loads(self, tmp_path):
+        job = api_job(WORKLOAD, 2)
+        store = ArtifactStore(tmp_path)
+        store.save(job, "placeholder")
+        meta = json.loads(store.meta_path(job).read_text())
+        del meta["sha256"]
+        store.meta_path(job).write_text(json.dumps(meta))
+        assert store.load(job) == "placeholder"
+        assert store.hits == 1
+
+    def test_semantic_violation_quarantined(self, tmp_path):
+        # A well-formed pickle under the wrong key: the checksum and the
+        # decode both pass, only the invariant pass can reject it.
+        stats = run_job(api_job(WORKLOAD, 2)).result
+        store = ArtifactStore(tmp_path)
+        wrong = api_job(WORKLOAD, 3)
+        store.save(wrong, stats)
+        assert store.load(wrong) is None
+        assert store.quarantined == 1
+        assert "invariant violation" in (
+            store.quarantine_dir / "REASONS.log"
+        ).read_text()
+
+    def test_truncated_checkpoint_quarantined(self, tmp_path):
+        job = sim_job(WORKLOAD, 2)
+        store = ArtifactStore(tmp_path)
+        store.save_checkpoint(job, {"frame": 1, "state": list(range(1000))})
+        path = store.checkpoint_path(job)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        assert store.load_checkpoint(job) is None
+        assert store.quarantined == 1
+        assert not path.exists()
+
+    def test_clear_also_empties_quarantine(self, tmp_path):
+        job = api_job(WORKLOAD, 2)
+        store = ArtifactStore(tmp_path)
+        store.save(job, "placeholder")
+        store.artifact_path(job).write_bytes(b"junk")
+        assert store.load(job) is None
+        assert store.quarantined_files()
+        store.clear()
+        assert store.quarantined_files() == []
+
+
+# -- conservation invariants ------------------------------------------------
+
+
+class TestInvariants:
+    def test_clean_api_result_passes(self):
+        job = api_job(WORKLOAD, 2)
+        assert validate_result(job, run_job(job).result) == []
+
+    def test_frame_budget_mismatch_detected(self):
+        stats = run_job(api_job(WORKLOAD, 2)).result
+        assert validate_result(api_job(WORKLOAD, 3), stats)
+
+    def test_clean_sim_result_passes(self):
+        job = sim_job(WORKLOAD, 1)
+        assert validate_result(job, run_job(job).result) == []
+
+    def test_tampered_sim_counter_detected(self):
+        job = sim_job(WORKLOAD, 1)
+        result = run_job(job).result
+        result.stats.fragments_rasterized += 1  # breaks frame-sum conservation
+        assert validate_result(job, result)
+
+    def test_unknown_result_shape_is_not_validated(self):
+        assert validate_result(api_job(WORKLOAD, 2), "bare string") == []
+
+
+# -- end-to-end recovery (the chaos scenarios) -------------------------------
+
+
+@pytest.fixture(scope="module")
+def chaos_ctx(tmp_path_factory):
+    """Fault-free reference batch shared by every recovery test."""
+    root = tmp_path_factory.mktemp("chaos")
+    reference = Farm(store=ArtifactStore(root / "reference"), jobs=2).run(
+        list(chaos.BASE_JOBS) + [chaos.CKPT_JOB]
+    )
+
+    def make(name: str) -> chaos._Context:
+        return chaos._Context(reference, seed=0, jobs=2, root=root / name)
+
+    return make
+
+
+class TestChaosRecovery:
+    """Each satellite fault class recovers bit-identical to the reference.
+
+    ``ChaosFailure`` (an ``AssertionError``) propagating out of a scenario
+    is the test failure; these are the exact scenarios ``repro chaos`` runs.
+    """
+
+    def test_worker_crash_mid_round(self, chaos_ctx):
+        chaos._crash(chaos_ctx("crash"))
+
+    def test_hung_job_killed_and_requeued(self, chaos_ctx):
+        chaos._hang(chaos_ctx("hang"))
+
+    def test_corrupt_artifact_quarantined_and_recomputed(self, chaos_ctx):
+        chaos._artifact_corruption(chaos_ctx("corrupt"))
+
+    def test_truncated_checkpoint_restarts_cleanly(self, chaos_ctx):
+        chaos._checkpoint_truncation(chaos_ctx("ckpt"))
+
+    def test_unwritable_cache_dir_still_produces_results(self, chaos_ctx):
+        chaos._unwritable(chaos_ctx("readonly"), "EROFS")
+
+    def test_native_compile_failure_falls_back_identically(self, chaos_ctx):
+        chaos._native_compile(chaos_ctx("native"))
+
+
+# -- graceful degradation and scheduling fixes -------------------------------
+
+
+def _fails_for_doom(job, cache_dir, checkpoint_every):
+    if "Doom3" in job.workload:
+        raise ValueError("doom jobs always fail")
+    return f"ok:{job.workload}"
+
+
+def _sleeps_briefly(job, cache_dir, checkpoint_every):
+    time.sleep(0.6)
+    return f"slept:{job.key()}"
+
+
+class TestFarmDegradation:
+    JOBS = [api_job(WORKLOAD, 2), api_job(OTHER, 2)]
+
+    def test_strict_false_returns_partial_results_and_report(self, tmp_path):
+        farm = Farm(
+            store=ArtifactStore(tmp_path), jobs=2, retries=2, strict=False
+        )
+        results = farm.run(self.JOBS, worker=_fails_for_doom)
+        assert results == {self.JOBS[0]: f"ok:{WORKLOAD}"}
+        report = farm.last_report
+        assert not report.ok
+        assert report.completed == 1
+        assert report.failed_jobs() == [self.JOBS[1]]
+        assert any("doom jobs always fail" in c for c in report.failures[0].causes)
+        assert farm.telemetry.failed == 1
+
+    def test_strict_error_carries_per_job_cause_chain(self, tmp_path):
+        farm = Farm(store=ArtifactStore(tmp_path), jobs=2, retries=2)
+        with pytest.raises(FarmError, match="doom jobs always fail") as info:
+            farm.run(self.JOBS, worker=_fails_for_doom)
+        assert info.value.report is not None
+        assert info.value.report.failed_jobs() == [self.JOBS[1]]
+        # the survivor's work is not discarded by the sibling's failure
+        assert info.value.report.completed == 1
+
+    def test_run_one_raises_when_nonstrict_job_fails(self, tmp_path):
+        farm = Farm(store=ArtifactStore(tmp_path), jobs=1, strict=False)
+        with pytest.raises(FarmError):
+            farm.run_one(api_job(OTHER, 2), worker=_fails_for_doom)
+
+    def test_queued_jobs_not_charged_for_wait_time(self, tmp_path):
+        # Six 0.6s jobs through 2 workers: the last wave finishes ~1.8s in,
+        # past a naive per-job clock started at collection time.  The
+        # wave-scaled round deadline must not kill or retry anything.
+        jobs = [api_job(WORKLOAD, frames) for frames in range(2, 8)]
+        farm = Farm(
+            store=ArtifactStore(tmp_path), jobs=2, retries=2, timeout=1.0
+        )
+        results = farm.run(jobs, worker=_sleeps_briefly)
+        assert len(results) == len(jobs)
+        assert farm.telemetry.retries == 0
+        assert all(r.attempts == 1 for r in farm.telemetry.records)
