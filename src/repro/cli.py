@@ -359,7 +359,7 @@ def _cmd_bench(args) -> int:
         workload=args.workload or DEFAULT_WORKLOAD,
         frames=args.frames,
         farm_frames=args.farm_frames,
-        jobs=args.jobs,
+        jobs=tuple(args.jobs),
         include_farm=not args.skip_farm,
         repeats=args.repeats,
     )
@@ -371,18 +371,42 @@ def _cmd_bench(args) -> int:
         f"{doc['per_triangle']['seconds']}s per-triangle)"
     )
     if "farm" in doc:
+        farm = doc["farm"]
         print(
-            f"farm: {doc['farm']['speedup']:.2f}x with {doc['farm']['jobs']} "
-            f"jobs over {len(doc['farm']['workloads'])} workloads"
+            f"farm ({len(farm['workloads'])} workloads x {farm['frames']} "
+            f"frames, {farm['cpu_count']} cpu(s)): "
+            f"serial {farm['serial']['seconds']}s"
         )
+        for width, entry in farm["parallel"].items():
+            phases = " ".join(
+                f"{name} {seconds}s"
+                for name, seconds in entry["phases"].items()
+            )
+            print(
+                f"  --jobs {width}: {entry['seconds']}s, "
+                f"{entry['speedup']:.2f}x [{phases}]"
+            )
+    failed = False
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(
             f"FAIL: speedup {speedup:.2f}x below required "
             f"{args.min_speedup:.2f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_farm_speedup is not None and "farm" in doc:
+        widest = max(doc["farm"]["parallel"], key=int, default=None)
+        farm_speedup = (
+            doc["farm"]["parallel"][widest]["speedup"] if widest else 0.0
+        )
+        if farm_speedup < args.min_farm_speedup:
+            print(
+                f"FAIL: farm speedup {farm_speedup:.2f}x at --jobs {widest} "
+                f"below required {args.min_farm_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -499,7 +523,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default=None, help="benchmark workload")
     p.add_argument("--frames", type=int, default=1)
     p.add_argument("--farm-frames", type=int, default=2)
-    p.add_argument("--jobs", type=int, default=3, help="parallel farm width")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        nargs="+",
+        default=[2, 4],
+        help="parallel farm widths to measure (serial is always measured)",
+    )
     p.add_argument("--skip-farm", action="store_true")
     p.add_argument(
         "--repeats",
@@ -514,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fail (exit 1) if QuadStream fragments/s falls below this "
         "multiple of the per-triangle path",
+    )
+    p.add_argument(
+        "--min-farm-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the farm speedup at the widest --jobs value "
+        "falls below this multiple of the serial farm run",
     )
     p.set_defaults(func=_cmd_bench)
 

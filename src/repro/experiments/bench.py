@@ -9,16 +9,24 @@ measurements:
   bit-identical statistics, so the triangles/s and fragments/s ratios are a
   pure execution-strategy speedup.
 * **farm** — the three simulated engines' reduced-profile jobs run through
-  the execution farm serially (``jobs=1``) and in parallel, cache disabled
-  both times, so the scaling of the process-pool scheduler is visible too.
+  the execution farm serially (``jobs=1``) and at each requested parallel
+  width, each measurement against its own fresh artifact store, so the
+  scaling of the frame-sharded, warm-pool, zero-copy scheduler is visible
+  too.  Each entry carries the farm's per-phase timing breakdown (pool
+  spawn, trace generation, simulation, harvest, shard merge) and the
+  document records ``cpu_count`` — on a single-core host the parallel
+  widths measure scheduling overhead, not speedup.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
+import tempfile
 import time
+from typing import Sequence
 
 from repro.gpu.config import GpuConfig
 from repro.workloads import build_workload
@@ -58,24 +66,46 @@ def _run_pipeline(
     }
 
 
-def _run_farm(frames: int, jobs: int) -> dict:
+def _measure_farm(specs: list, width: int) -> dict:
+    """One cold farm batch at ``width`` workers, against a fresh store."""
+    from repro.farm import ArtifactStore, Farm
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-farm-") as tmp:
+        with Farm(
+            store=ArtifactStore(tmp), jobs=width, checkpoint_every=0
+        ) as farm:
+            start = time.perf_counter()
+            farm.run(list(specs))
+            wall = time.perf_counter() - start
+    return {
+        "jobs": width,
+        "seconds": round(wall, 3),
+        "phases": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(farm.telemetry.phases.items())
+        },
+    }
+
+
+def _run_farm(frames: int, jobs: Sequence[int]) -> dict:
     from repro.experiments import paper
-    from repro.farm import ArtifactStore, Farm, JobSpec
+    from repro.farm import JobSpec
 
     specs = [JobSpec("sim", name, frames) for name in paper.SIMULATED]
-    timings = {}
-    for label, n in (("serial", 1), ("parallel", jobs)):
-        farm = Farm(store=ArtifactStore(None), jobs=n, use_cache=False)
-        start = time.perf_counter()
-        farm.run(list(specs))
-        timings[label] = time.perf_counter() - start
+    serial = _measure_farm(specs, 1)
+    parallel: dict[str, dict] = {}
+    for width in jobs:
+        if width <= 1:
+            continue
+        entry = _measure_farm(specs, width)
+        entry["speedup"] = round(serial["seconds"] / entry["seconds"], 2)
+        parallel[str(width)] = entry
     return {
         "workloads": list(paper.SIMULATED),
         "frames": frames,
-        "jobs": jobs,
-        "serial_s": round(timings["serial"], 3),
-        "parallel_s": round(timings["parallel"], 3),
-        "speedup": round(timings["serial"] / timings["parallel"], 2),
+        "cpu_count": os.cpu_count(),
+        "serial": serial,
+        "parallel": parallel,
     }
 
 
@@ -83,11 +113,13 @@ def bench_pipeline(
     workload: str = DEFAULT_WORKLOAD,
     frames: int = 1,
     farm_frames: int = 2,
-    jobs: int = 3,
+    jobs: Sequence[int] | int = (2, 4),
     include_farm: bool = True,
     repeats: int = 3,
 ) -> dict:
     """Run both measurements and return the ``BENCH_pipeline.json`` document."""
+    if isinstance(jobs, int):
+        jobs = (jobs,)
     per_triangle = _run_pipeline(
         workload, vectorized=False, frames=frames, repeats=repeats
     )

@@ -64,7 +64,10 @@ class Runner:
     jobs across worker processes; ``use_cache=False`` disables the on-disk
     artifact store entirely.  ``strict=False`` makes batch prefetches return
     whatever completed instead of raising on a permanently failed job; the
-    per-job cause chains land in :attr:`failure_report`.
+    per-job cause chains land in :attr:`failure_report`.  ``shard_frames``
+    is the farm's frame-sharding policy (``None`` automatic, ``0`` off,
+    ``k`` fixed slice count — see :class:`~repro.farm.executor.Farm`): with
+    ``jobs > 1`` even a single long simulation fans out across workers.
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class Runner:
         use_cache: bool = True,
         cache_dir: str | None = None,
         strict: bool = True,
+        shard_frames: int | None = None,
     ):
         self.config = config or ExperimentConfig()
         if farm is None:
@@ -85,6 +89,7 @@ class Runner:
                 jobs=jobs,
                 use_cache=use_cache,
                 strict=strict,
+                shard_frames=shard_frames,
             )
         self.farm = farm
         self._results: dict[JobSpec, Any] = {}
@@ -228,7 +233,12 @@ def default_runner() -> Runner:
     config = ExperimentConfig()
     if _DEFAULT is None or _DEFAULT.config != config:
         jobs = _env_int("REPRO_FARM_JOBS", 0) or (os.cpu_count() or 1)
-        _DEFAULT = Runner(config, jobs=jobs)
+        shards = os.environ.get("REPRO_FARM_SHARDS")
+        _DEFAULT = Runner(
+            config,
+            jobs=jobs,
+            shard_frames=int(shards) if shards else None,
+        )
     return _DEFAULT
 
 

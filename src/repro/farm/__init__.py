@@ -10,6 +10,14 @@ persists the results in an on-disk :class:`~repro.farm.store.ArtifactStore`
 long simulations frame-by-frame so an interrupted run resumes where it
 stopped instead of starting over.
 
+A run larger than the batch is parallel-sharded in *frames*: contiguous
+slices of one timedemo execute as independent jobs (every generated frame
+opens with a full clear, making frame ranges independent) and are folded
+back bit-identically by :mod:`repro.farm.merge`.  Workers are warm — one
+process pool lives for the whole :class:`~repro.farm.executor.Farm` — and
+results travel zero-copy: workers persist artifacts and return keys, the
+parent memory-maps the heavy payloads back in at harvest.
+
 The cache key covers everything that can change a result: workload spec,
 seed, frame budget, GPU configuration, and a hash of the ``repro`` source
 tree — so stale artifacts are impossible by construction and ``farm clear``
@@ -34,6 +42,12 @@ from repro.farm.executor import (
 from repro.farm.faults import FaultPlan, FaultSpec, TransientFault
 from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec, api_job, geometry_job, sim_job
+from repro.farm.merge import (
+    MergeError,
+    merge_api_stats,
+    merge_results,
+    merge_simulations,
+)
 from repro.farm.store import ArtifactStore, default_cache_dir
 from repro.farm.telemetry import FailureRecord, FarmTelemetry, JobRecord
 from repro.farm.version import code_version
@@ -50,11 +64,15 @@ __all__ = [
     "JobFailure",
     "JobRecord",
     "JobSpec",
+    "MergeError",
     "TransientFault",
     "api_job",
     "code_version",
     "default_cache_dir",
     "geometry_job",
+    "merge_api_stats",
+    "merge_results",
+    "merge_simulations",
     "run_job",
     "sim_job",
     "validate_result",

@@ -1,19 +1,31 @@
-"""Frame-level checkpoint/resume for simulation jobs.
+"""Frame-level checkpoint/resume and shared-trace resolution for jobs.
 
-A simulation is a strict frame-by-frame recurrence: every frame's result
-depends on the framebuffer, cache, and statistics state left by the frames
-before it.  That makes mid-run sharding impossible but checkpointing easy —
-the whole :class:`~repro.gpu.pipeline.GpuSimulator` pickles cleanly, so the
-farm snapshots it at frame boundaries and an interrupted run restarts from
-the last completed frame instead of frame zero.  Because the snapshot *is*
-the complete pipeline state, a resumed run is bit-identical to an
-uninterrupted one (covered by ``tests/test_farm.py``).
+A simulation is a strict frame-by-frame recurrence *within* a frame, but
+every generated frame opens with a full clear that resets the framebuffer
+and drops all cross-frame cache contents, so frame ranges of one timedemo
+are independent: the farm shards a run into contiguous slices (see
+:meth:`repro.farm.job.JobSpec.shard`) and each worker fast-forwards the API
+state machine over the frames before its slice, then simulates only its
+own.  Checkpointing stays for recovery inside a slice — the whole
+:class:`~repro.gpu.pipeline.GpuSimulator` pickles cleanly, so an
+interrupted worker restarts from the last completed frame instead of frame
+zero, bit-identically (covered by ``tests/test_farm.py``).
+
+Trace generation is the other shared cost: every shard (and the API run of
+the same demo) replays the *same* call stream, so :func:`job_trace`
+resolves it through a worker-local LRU and the store's shared trace files
+(:meth:`repro.farm.store.ArtifactStore.load_trace`) instead of regenerating
+it per job.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 
+from repro.api.trace import Trace
+from repro.api.tracer import ApiTracer
+from repro.api.stats import WorkloadApiStats
 from repro.farm import faults
 from repro.farm.job import JobSpec
 from repro.farm.store import ArtifactStore
@@ -31,11 +43,74 @@ def build_job_workload(job: JobSpec) -> GameWorkload:
     return GameWorkload(spec, sim=job.sim_profile)
 
 
+#: Worker-local cache of materialized timedemos, keyed by
+#: :meth:`JobSpec.trace_key`.  Lives for the life of the (warm, reused)
+#: pool worker, so consecutive shards of one run pay for trace generation
+#: or trace-file parsing once, not once per shard.
+_TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
+_TRACE_CACHE_MAX = 4
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()
+
+
+def job_trace(job: JobSpec, store: ArtifactStore | None = None) -> Trace:
+    """The full-length timedemo ``job``'s frame slice is cut from.
+
+    Resolution order: worker-local LRU → the store's shared trace file →
+    generate (and publish to the store for the other workers).  A store
+    that cannot be written to (full disk, read-only volume) degrades to
+    per-worker generation rather than failing the job.
+    """
+    key = job.trace_key()
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        _TRACE_CACHE.move_to_end(key)
+        return trace
+    trace = store.load_trace(job) if store is not None else None
+    if trace is None:
+        trace = build_job_workload(job).trace(frames=job.total_frames)
+        trace = trace.materialize()
+        if store is not None:
+            try:
+                store.save_trace(job, trace)
+            except OSError:
+                pass
+    _TRACE_CACHE[key] = trace
+    while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
+def run_api_job(
+    job: JobSpec,
+    store: ArtifactStore | None = None,
+    trace: Trace | None = None,
+) -> WorkloadApiStats:
+    """Collect API statistics for ``job``'s frame slice of the shared trace.
+
+    API frames are analyzed with a fresh state machine per frame (see
+    :meth:`repro.api.tracer.ApiTracer.frame_stats`), so a slice needs no
+    fast-forward at all — just the right frames of the right timedemo.
+    """
+    workload = build_job_workload(job)
+    if trace is None:
+        trace = job_trace(job, store)
+    if job.is_shard:
+        frames = list(trace.frames())
+        frames = frames[job.frame_offset : job.frame_offset + job.frames]
+        trace = Trace(trace.meta, frames)
+    tracer = ApiTracer(workload.programs)
+    return tracer.trace_stats(trace, max_frames=job.frames)
+
+
 def run_checkpointed(
     job: JobSpec,
     store: ArtifactStore | None,
     checkpoint_every: int = 1,
     on_frame=None,
+    trace: Trace | None = None,
 ) -> SimulationResult:
     """Execute a sim/geometry job, checkpointing every N completed frames.
 
@@ -44,6 +119,10 @@ def run_checkpointed(
     deleted once the run completes (the artifact supersedes it).
     ``on_frame`` is an extra per-frame hook the tests use to inject
     interrupts.
+
+    For a frame shard, the replay fast-forwards the API state machine over
+    the ``job.frame_offset`` frames before the slice (no simulation work)
+    and then simulates ``job.frames`` frames of the shared timedemo.
     """
     workload = build_job_workload(job)
     checkpointing = store is not None and checkpoint_every > 0
@@ -56,6 +135,8 @@ def run_checkpointed(
     if sim.frames_completed >= job.frames:
         result = sim.result()
     else:
+        if trace is None:
+            trace = job_trace(job, store)
 
         def hook(simulator, frames_done: int) -> None:
             if (
@@ -72,10 +153,11 @@ def run_checkpointed(
                 on_frame(simulator, frames_done)
 
         result = sim.run_trace(
-            workload.trace(frames=job.frames),
+            trace,
             max_frames=job.frames,
             fragment_stages=job.fragment_stages,
             resume=resume,
+            start_frame=job.frame_offset,
             on_frame=hook,
         )
 

@@ -5,40 +5,59 @@ Execution policy, in order:
 1. **Cache probe** — jobs whose artifact is already on disk (and passes the
    checksum + invariant gauntlet, see :mod:`repro.farm.store`) are satisfied
    without running anything.
-2. **Parallel execution** — remaining jobs are sharded across a
-   ``ProcessPoolExecutor`` (``--jobs N``, default ``os.cpu_count()``).
-   Every job runs in its own process with a fresh simulator, so parallel
-   results are bit-identical to serial ones.
-3. **Crash/hang/exception recovery** — a worker crash breaks the whole
-   pool, so the round's unfinished jobs are requeued into a fresh pool; a
-   round that outlives its deadline (``timeout`` seconds per job, scaled by
-   the number of queue waves so a job waiting behind slow siblings is never
-   killed spuriously) has its workers killed and its unfinished jobs
-   requeued; exceptions *raised* by a job are requeued the same way (they
-   may be transient).  Requeue rounds are separated by exponential backoff
-   with deterministic jitter.  After ``retries`` failed attempts a job
-   falls back to serial in-parent execution.
-4. **Serial fallback** — if the pool cannot be created at all (restricted
+2. **Frame sharding** — an under-subscribed batch (fewer pending jobs than
+   workers) is split into contiguous frame slices
+   (:meth:`~repro.farm.job.JobSpec.shard`), so even ``run_one`` of a single
+   long timedemo uses every worker.  Shard results are recombined by
+   :mod:`repro.farm.merge` bit-identically to a serial run — the per-frame
+   full clear makes frame ranges independent (see
+   :mod:`repro.farm.checkpoint`), and ``tests/test_merge.py`` checks the
+   equality on every engine.
+3. **Warm parallel execution** — execution units run on a persistent
+   ``ProcessPoolExecutor`` (``--jobs N``, default ``os.cpu_count()``) that
+   lives for the whole :class:`Farm`, spanning retry rounds *and*
+   consecutive :meth:`Farm.run` calls; it is torn down only when broken by
+   a worker death / kill (or by :meth:`Farm.close`).  Workers precompile
+   the native kernels at init and keep generated traces in an in-process
+   LRU, so only the first job in a worker pays those costs.
+4. **Zero-copy transport** — workers persist their (large) result into the
+   content-addressed store and ship back only the artifact key plus a few
+   scalars; the parent materializes from disk at harvest, memory-mapping
+   rendered frames instead of pushing them through the result pipe.
+5. **Crash/hang/exception recovery** — a worker crash breaks the pool, so
+   the round's unfinished units are requeued and the pool is rebuilt; a
+   round that outlives its deadline (``timeout`` seconds per unit, scaled
+   by the number of queue waves so a unit waiting behind slow siblings is
+   never killed spuriously) has its workers killed and its unfinished
+   units requeued; exceptions *raised* by a unit are requeued the same way
+   (they may be transient).  Requeue rounds are separated by exponential
+   backoff with deterministic jitter.  After ``retries`` failed attempts a
+   unit falls back to serial in-parent execution.
+6. **Serial fallback** — if the pool cannot be created at all (restricted
    environments), or ``jobs=1``, everything runs in-process.
-5. **Failure accounting** — a job that still fails after the serial
-   fallback is *permanently failed*: its full cause chain is recorded in
-   telemetry and a :class:`FailureReport`.  With ``strict=True`` (the
-   default) the batch raises :class:`FarmError` after every job has been
-   given its chance; with ``strict=False`` the completed results are
-   returned and the report is left on :attr:`Farm.last_report`.
+7. **Failure accounting** — a job that still fails after the serial
+   fallback is *permanently failed*: its full cause chain (including its
+   shards') is recorded in telemetry and a :class:`FailureReport`.  With
+   ``strict=True`` (the default) the batch raises :class:`FarmError` after
+   every job has been given its chance; with ``strict=False`` the
+   completed results are returned and the report is left on
+   :attr:`Farm.last_report`.
 
-Workers both persist their artifact and return it, so a completed job's
+Workers persist their artifact before returning, so a completed unit's
 work survives even if the parent dies while collecting results.  Fresh and
 cached results alike are checked against the pipeline conservation
-invariants (:mod:`repro.farm.invariants`) before they are handed out.
+invariants (:mod:`repro.farm.invariants`) before they are handed out, and
+merged jobs are validated again as a whole.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import math
 import os
 import time
+import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
@@ -50,9 +69,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.farm import faults
-from repro.farm.checkpoint import build_job_workload, run_checkpointed
+from repro.farm.checkpoint import job_trace, run_api_job, run_checkpointed
 from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec
+from repro.farm.merge import MergeError, merge_results
 from repro.farm.store import ArtifactStore
 from repro.farm.telemetry import FarmTelemetry
 
@@ -107,11 +127,21 @@ class FailureReport:
 
 @dataclass
 class JobOutcome:
-    """Worker return envelope: the artifact plus execution telemetry."""
+    """Worker return envelope: the artifact plus execution telemetry.
+
+    With ``stored=True`` the worker persisted the result under ``key`` and
+    ``result`` is ``None`` — the parent materializes it from the shared
+    store at harvest time instead of receiving it over the result pipe.
+    ``phases`` carries worker-side timing (``trace``, ``simulate``) for the
+    farm's phase breakdown.
+    """
 
     result: Any
     wall_s: float
     from_cache: bool = False
+    stored: bool = False
+    key: str | None = None
+    phases: dict[str, float] = field(default_factory=dict)
 
 
 def run_job(
@@ -121,8 +151,11 @@ def run_job(
 
     Probes the cache first so retried or restarted workers never redo
     finished work, and persists the artifact before returning so the result
-    survives a parent crash.  Fault-injection hooks fire here so the chaos
-    suite can kill, hang, or trip the worker at a controlled point.
+    survives a parent crash.  The timedemo is resolved through the shared
+    trace store / worker-local cache (:func:`repro.farm.checkpoint
+    .job_trace`), so it is generated once per demo, not once per shard.
+    Fault-injection hooks fire here so the chaos suite can kill, hang, or
+    trip the worker at a controlled point.
     """
     faults.reset_native_if_planned()
     faults.on_job_start(job.describe())
@@ -130,20 +163,62 @@ def run_job(
     if store is not None:
         cached = store.load(job)
         if cached is not None:
-            return JobOutcome(cached, 0.0, from_cache=True)
+            return JobOutcome(cached, 0.0, from_cache=True, key=job.key())
+    phases: dict[str, float] = {}
     start = time.perf_counter()
+    trace = job_trace(job, store)
+    phases["trace"] = time.perf_counter() - start
+    mark = time.perf_counter()
     if job.kind == "api":
-        workload = build_job_workload(job)
-        result = workload.api_stats(frames=job.frames)
+        result = run_api_job(job, store, trace=trace)
     else:
-        result = run_checkpointed(job, store, checkpoint_every)
+        result = run_checkpointed(job, store, checkpoint_every, trace=trace)
+    phases["simulate"] = time.perf_counter() - mark
     wall_s = time.perf_counter() - start
     if store is not None:
         try:
             store.save(job, result, wall_s=wall_s)
         except OSError:
             pass  # full or read-only cache dir: the computation still succeeded
-    return JobOutcome(result, wall_s)
+    return JobOutcome(result, wall_s, key=job.key(), phases=phases)
+
+
+def _pool_entry(
+    worker: Callable, job: JobSpec, cache_dir: str | None, checkpoint_every: int
+):
+    """Pool-side wrapper: run the worker, strip stored results for transport.
+
+    When the standard worker persisted its result, only the envelope (key
+    plus scalars) crosses the process boundary; the parent reloads —
+    memory-mapping rendered frames — from the store.  Custom workers and
+    unsaved results (no cache dir, unwritable volume) pass through whole.
+    """
+    outcome = worker(job, cache_dir, checkpoint_every)
+    if (
+        worker is run_job
+        and cache_dir is not None
+        and isinstance(outcome, JobOutcome)
+        and outcome.result is not None
+        and ArtifactStore(cache_dir).contains(job)
+    ):
+        return dataclasses.replace(outcome, result=None, stored=True)
+    return outcome
+
+
+def _worker_init() -> None:
+    """Warm-pool worker initializer: pay one-time costs before any job.
+
+    Re-arms fault injection for this process, then probes (and if needed
+    compiles) the native kernels so the first job scheduled on this worker
+    doesn't serialize behind a compiler run.
+    """
+    faults.reset_native_if_planned()
+    try:
+        from repro.gpu import _native
+
+        _native.available()
+    except Exception:
+        pass  # the pure-Python pipeline works without the accelerator
 
 
 class Farm:
@@ -161,6 +236,7 @@ class Farm:
         strict: bool = True,
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
+        shard_frames: int | None = None,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
@@ -172,12 +248,94 @@ class Farm:
         self.strict = strict
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
+        #: ``None`` = shard automatically when the batch under-subscribes
+        #: the pool; ``0`` = never shard; ``k`` = split every shardable job
+        #: into (up to) ``k`` frame slices.
+        self.shard_frames = shard_frames
         self.last_report = FailureReport()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
 
     @property
     def cache_dir(self) -> str | None:
         """Store root handed to workers; ``None`` disables caching."""
         return str(self.store.root) if self.use_cache else None
+
+    # -- warm pool lifecycle --------------------------------------------
+    def _ensure_pool(self, units: int) -> ProcessPoolExecutor | None:
+        """The persistent worker pool, created lazily on first need.
+
+        The pool spans retry rounds and :meth:`run` calls — spawn and
+        native-kernel warmup are paid once per :class:`Farm`, not once per
+        round.  Creation happens *after* any fault plan is installed in
+        the parent environment (pools are lazy), so forked workers inherit
+        it.  Returns ``None`` where multiprocessing is unavailable.
+        """
+        if self._pool is not None:
+            return self._pool
+        start = time.perf_counter()
+        try:
+            from repro.gpu import _native
+
+            _native.available()  # compile once here; forked workers inherit
+        except Exception:
+            pass
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, max(1, units)),
+                initializer=_worker_init,
+            )
+        except (OSError, ValueError):  # no multiprocessing available
+            return None
+        self._pool = pool
+        self._pool_finalizer = weakref.finalize(
+            self, pool.shutdown, wait=False, cancel_futures=True
+        )
+        self.telemetry.add_phase("spawn", time.perf_counter() - start)
+        return pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down (broken worker, kill, or explicit close)."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Release the warm pool; the farm remains usable (it re-warms)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "Farm":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- shard planning --------------------------------------------------
+    def _plan_units(
+        self, pending: list[JobSpec], worker: Callable
+    ) -> dict[JobSpec, tuple[JobSpec, ...]]:
+        """Map each pending job to the execution units that will run it.
+
+        Sharding applies only to the standard worker (custom workers have
+        their own contracts).  Automatic policy: split when the batch has
+        fewer jobs than the pool has workers — the classic long-timedemo /
+        few-workloads shape where whole-job parallelism leaves workers
+        idle.  A saturated batch is left unsharded: slicing it would only
+        add merge work.
+        """
+        if worker is not run_job or self.jobs <= 1 or self.shard_frames == 0:
+            return {job: (job,) for job in pending}
+        if self.shard_frames:
+            pieces = self.shard_frames
+        elif len(pending) < self.jobs:
+            pieces = math.ceil(self.jobs / len(pending))
+        else:
+            pieces = 1
+        return {job: job.shard(pieces) for job in pending}
 
     # -- public API -----------------------------------------------------
     def run_one(self, job: JobSpec, worker: Callable = run_job) -> Any:
@@ -220,18 +378,93 @@ class Farm:
             pending.append(job)
 
         if pending:
-            if self.jobs <= 1 or len(pending) == 1:
+            plan = self._plan_units(pending, worker)
+            units = [unit for job in pending for unit in plan[job]]
+            if self.jobs <= 1 or len(units) == 1:
                 failed = self._run_serial(
                     pending, worker, results, source="serial", causes=causes
                 )
                 self._record_failures(report, failed, causes)
             else:
-                self._run_parallel(pending, worker, results, causes, report)
+                unit_results: dict[JobSpec, Any] = {}
+                self._run_units(units, worker, unit_results, causes)
+                self._assemble(
+                    pending, plan, unit_results, results, causes, report
+                )
 
         report.completed = len(results)
         if report.failures and self.strict:
             raise FarmError(report.summary(), report)
         return results
+
+    # -- shard assembly --------------------------------------------------
+    def _assemble(
+        self,
+        pending: list[JobSpec],
+        plan: dict[JobSpec, tuple[JobSpec, ...]],
+        unit_results: dict[JobSpec, Any],
+        results: dict[JobSpec, Any],
+        causes: dict[JobSpec, list[str]],
+        report: FailureReport,
+    ) -> None:
+        """Recombine unit results into parent-job results.
+
+        A sharded parent whose every slice completed is merged
+        (:func:`repro.farm.merge.merge_results`), re-validated as a whole
+        run, and persisted under the *parent* key so the next batch
+        cache-hits it directly.  Any failed slice fails the parent, with
+        the slice's cause chain folded into the parent's.
+        """
+        failed: list[JobSpec] = []
+        for parent in pending:
+            units = plan[parent]
+            missing = [unit for unit in units if unit not in unit_results]
+            if missing:
+                if len(units) > 1:
+                    for unit in missing:
+                        for cause in causes.get(unit, ["unknown cause"]):
+                            self._note(
+                                causes, parent, f"{unit.describe()}: {cause}"
+                            )
+                failed.append(parent)
+                continue
+            if len(units) == 1:
+                results[parent] = unit_results[units[0]]
+                continue
+            start = time.perf_counter()
+            try:
+                merged = merge_results([unit_results[unit] for unit in units])
+            except MergeError as exc:
+                self._note(causes, parent, f"shard merge failed: {exc}")
+                failed.append(parent)
+                continue
+            violations = validate_result(parent, merged)
+            if violations:
+                self._note(
+                    causes,
+                    parent,
+                    "merged result invariant violation: "
+                    + "; ".join(violations),
+                )
+                failed.append(parent)
+                continue
+            if self.use_cache:
+                try:
+                    self.store.save(parent, merged)
+                except OSError:
+                    pass
+            wall = time.perf_counter() - start
+            self.telemetry.add_phase("merge", wall)
+            results[parent] = merged
+            self.telemetry.record(
+                parent.describe(),
+                parent.key(),
+                "merge",
+                wall,
+                1,
+                tuple(causes.get(parent, ())),
+            )
+        self._record_failures(report, failed, causes)
 
     # -- failure bookkeeping --------------------------------------------
     @staticmethod
@@ -283,6 +516,8 @@ class Farm:
             if outcome.from_cache:
                 source = "cache"
             results[job] = outcome.result
+            for phase, seconds in outcome.phases.items():
+                self.telemetry.add_phase(phase, seconds)
         else:  # custom worker returning a bare value
             wall = parent_wall
             results[job] = outcome
@@ -335,14 +570,19 @@ class Farm:
             )
         return failed
 
-    def _run_parallel(
+    def _run_units(
         self,
         batch: list[JobSpec],
         worker: Callable,
         results: dict,
         causes: dict[JobSpec, list[str]],
-        report: FailureReport,
-    ) -> None:
+    ) -> list[JobSpec]:
+        """Run execution units on the warm pool; returns the failed ones.
+
+        The pool persists across retry rounds (and :meth:`run` calls) —
+        it is discarded and rebuilt only when a worker death or a deadline
+        kill breaks it.
+        """
         attempts = dict.fromkeys(batch, 0)
         remaining = list(batch)
         fallback: list[JobSpec] = []
@@ -352,30 +592,38 @@ class Farm:
             round_no += 1
             if round_no > 1:
                 self._backoff(round_no - 1, round_jobs)
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(round_jobs))
-                )
-            except (OSError, ValueError):  # no multiprocessing available
+            pool = self._ensure_pool(len(round_jobs))
+            if pool is None:  # no multiprocessing available
                 fallback.extend(round_jobs)
                 break
+            futures: dict = {}
             try:
-                futures = {
-                    pool.submit(
-                        worker, job, self.cache_dir, self.checkpoint_every
-                    ): job
-                    for job in round_jobs
-                }
+                for job in round_jobs:
+                    futures[
+                        pool.submit(
+                            _pool_entry,
+                            worker,
+                            job,
+                            self.cache_dir,
+                            self.checkpoint_every,
+                        )
+                    ] = job
+            except (BrokenProcessPool, RuntimeError):
+                self._discard_pool()
+                submitted = set(futures.values())
+                for job in round_jobs:
+                    if job not in submitted:
+                        self._note(causes, job, "pool rejected submission")
+                        self._requeue(job, attempts, remaining, fallback)
+            if futures:
                 self._collect_round(
                     pool, futures, attempts, results, remaining, fallback, causes
                 )
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
         if fallback:
-            failed = self._run_serial(
+            return self._run_serial(
                 fallback, worker, results, "fallback", attempts, causes
             )
-            self._record_failures(report, failed, causes)
+        return []
 
     def _collect_round(
         self,
@@ -412,6 +660,7 @@ class Farm:
             )
             if not done:  # deadline expired with jobs still in flight
                 self._kill_workers(pool)
+                self._discard_pool()
                 for future in pending:
                     job = futures[future]
                     self._note(
@@ -427,16 +676,26 @@ class Farm:
                 try:
                     outcome = future.result()
                 except (BrokenProcessPool, CancelledError):
+                    self._discard_pool()
                     self._note(causes, job, "worker process died (pool broken)")
                     self._requeue(job, attempts, remaining, fallback)
                 except KeyboardInterrupt:
                     self._kill_workers(pool)
+                    self._discard_pool()
                     raise
                 except Exception as exc:
                     self._note(causes, job, f"{type(exc).__name__}: {exc}")
                     self._requeue(job, attempts, remaining, fallback)
                 else:
                     attempts[job] += 1
+                    mark = time.perf_counter()
+                    outcome, load_error = self._materialize(job, outcome)
+                    if load_error is not None:
+                        self._note(causes, job, load_error)
+                        self._requeue(
+                            job, attempts, remaining, fallback, count=False
+                        )
+                        continue
                     violations = self._validate(job, outcome)
                     if violations:
                         self._note(
@@ -448,6 +707,9 @@ class Farm:
                             job, attempts, remaining, fallback, count=False
                         )
                         continue
+                    self.telemetry.add_phase(
+                        "harvest", time.perf_counter() - mark
+                    )
                     self._harvest(
                         job,
                         outcome,
@@ -457,6 +719,28 @@ class Farm:
                         time.monotonic() - round_start,
                         tuple(causes.get(job, ())),
                     )
+
+    def _materialize(self, job: JobSpec, outcome: Any):
+        """Reload a stored (zero-copy) outcome from the shared store.
+
+        Returns ``(outcome, error)``.  The store load re-verifies the
+        checksum and memory-maps rendered frames; a damaged artifact is
+        quarantined there and reported here as a retryable error, so
+        on-disk corruption between worker save and parent harvest degrades
+        to a recompute.
+        """
+        if not (
+            isinstance(outcome, JobOutcome)
+            and outcome.stored
+            and outcome.result is None
+        ):
+            return outcome, None
+        loaded = self.store.load(job)
+        if loaded is None:
+            return None, (
+                "stored artifact unreadable at harvest (quarantined)"
+            )
+        return dataclasses.replace(outcome, result=loaded, stored=False), None
 
     def _requeue(
         self,

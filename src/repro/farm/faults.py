@@ -53,6 +53,7 @@ FAULT_KINDS = (
     "exception",  # raise TransientFault — exercises exception retry
     "corrupt_artifact",  # damage artifact bytes after save
     "corrupt_checkpoint",  # damage checkpoint bytes after save
+    "corrupt_trace",  # damage shared-trace bytes after save
     "unwritable",  # store writes raise ENOSPC / EROFS
     "native_compile",  # the C accelerator fails to build/load
 )

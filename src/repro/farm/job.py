@@ -48,6 +48,14 @@ class JobSpec:
     ``seed=None`` uses the workload's registered seed; an explicit value
     overrides it (and lands in the cache key).  ``config=None`` uses the
     workload's default simulator configuration.
+
+    ``frame_offset``/``trace_frames`` describe a *frame shard*: the job
+    covers frames ``[frame_offset, frame_offset + frames)`` of the
+    ``trace_frames``-frame timedemo.  ``trace_frames`` is part of the slice
+    identity because the synthetic camera path is normalized by the total
+    frame count — frame 1 of a 2-frame demo is not frame 1 of a 3-frame
+    demo.  The default (``0``/``None``) is a whole run: frames ``[0,
+    frames)`` of the ``frames``-frame demo, exactly the pre-shard spec.
     """
 
     kind: str  # "api" | "sim" | "geometry"
@@ -55,12 +63,20 @@ class JobSpec:
     frames: int
     seed: int | None = None
     config: GpuConfig | None = None
+    frame_offset: int = 0
+    trace_frames: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.frames <= 0:
             raise ValueError("frame budget must be positive")
+        if self.frame_offset < 0:
+            raise ValueError("frame offset must be non-negative")
+        if self.trace_frames is not None and (
+            self.trace_frames < self.frame_offset + self.frames
+        ):
+            raise ValueError("trace_frames shorter than the frame slice")
 
     @property
     def fragment_stages(self) -> bool:
@@ -70,8 +86,24 @@ class JobSpec:
     def sim_profile(self) -> bool:
         return self.kind in ("sim", "geometry")
 
+    @property
+    def total_frames(self) -> int:
+        """Length of the timedemo this job's frame slice is cut from."""
+        if self.trace_frames is not None:
+            return self.trace_frames
+        return self.frame_offset + self.frames
+
+    @property
+    def is_shard(self) -> bool:
+        return self.frame_offset > 0 or (
+            self.trace_frames is not None and self.trace_frames != self.frames
+        )
+
     def describe(self) -> str:
-        return f"{self.kind}:{self.workload}@{self.frames}f"
+        base = f"{self.kind}:{self.workload}@{self.frames}f"
+        if self.is_shard:
+            base += f"+{self.frame_offset}/{self.total_frames}"
+        return base
 
     def fingerprint(self) -> dict:
         """The full invalidation surface, as a canonical document."""
@@ -82,6 +114,8 @@ class JobSpec:
             "kind": self.kind,
             "workload": self.workload,
             "frames": self.frames,
+            "frame_offset": self.frame_offset,
+            "trace_frames": self.total_frames,
             "seed": self.seed if self.seed is not None else spec.seed,
             "spec": _canonical(spec),
             "config": _canonical(self.config) if self.config else "default",
@@ -92,6 +126,59 @@ class JobSpec:
         """Content hash the artifact store files this job's result under."""
         blob = json.dumps(self.fingerprint(), sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:24]
+
+    # -- traces ----------------------------------------------------------
+    def trace_fingerprint(self) -> dict:
+        """Invalidation surface of the generated trace itself.
+
+        Narrower than :meth:`fingerprint`: every shard of one run — and the
+        API/sim kinds that share a profile — replays the same call stream,
+        so the trace is stored once per (workload, seed, profile, length)
+        and loaded by every worker that needs any slice of it.
+        """
+        from repro.workloads.registry import workload as lookup
+
+        spec = lookup(self.workload)
+        return {
+            "workload": self.workload,
+            "sim_profile": self.sim_profile,
+            "frames": self.total_frames,
+            "seed": self.seed if self.seed is not None else spec.seed,
+            "spec": _canonical(spec),
+            "code": code_version(),
+        }
+
+    def trace_key(self) -> str:
+        """Content hash the shared trace store files this demo under."""
+        blob = json.dumps(self.trace_fingerprint(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    # -- sharding --------------------------------------------------------
+    def shard(self, pieces: int) -> tuple["JobSpec", ...]:
+        """Split this run into up to ``pieces`` contiguous frame shards.
+
+        Shards carry this job's full frame count as ``trace_frames`` so
+        they all replay slices of the *same* timedemo.  Splitting a shard
+        further, or splitting into one piece, returns the job unchanged.
+        """
+        pieces = min(int(pieces), self.frames)
+        if pieces <= 1 or self.is_shard:
+            return (self,)
+        base, extra = divmod(self.frames, pieces)
+        shards = []
+        offset = self.frame_offset
+        for index in range(pieces):
+            length = base + (1 if index < extra else 0)
+            shards.append(
+                dataclasses.replace(
+                    self,
+                    frames=length,
+                    frame_offset=offset,
+                    trace_frames=self.total_frames,
+                )
+            )
+            offset += length
+        return tuple(shards)
 
 
 def api_job(workload: str, frames: int, seed: int | None = None) -> JobSpec:

@@ -5,9 +5,20 @@ Layout under the cache root (``.repro-cache/`` by default,
 
     artifacts/<key>.pkl        pickled WorkloadApiStats / SimulationResult
     artifacts/<key>.json       metadata sidecar (job, wall time, SHA-256)
+    artifacts/<key>.npy        rendered frames, stripped out of the pickle
+                               and memory-mapped back in on load
     checkpoints/<key>.ckpt     pickled mid-run simulator state (sim jobs)
     checkpoints/<key>.meta.json  checkpoint SHA-256 sidecar
+    traces/<tkey>.jsonl        generated API trace, shared by every job and
+                               frame shard that replays the same timedemo
+    traces/<tkey>.meta.json    trace SHA-256 / frame-count sidecar
     quarantine/                corrupt files moved aside, never reused
+
+Rendered frames dominate artifact size, so :meth:`save` splits them into a
+plain ``.npy`` sidecar and :meth:`load` reattaches them as views of one
+``numpy.load(mmap_mode="r")`` array: pool workers ship back kilobytes of
+counters over the result pipe while the parent pages frame data straight
+from the cache file — the farm's zero-copy result transport.
 
 Writes are atomic (temp file + ``os.replace``) so a killed process never
 leaves a half-written artifact, and keys embed the full invalidation
@@ -25,7 +36,9 @@ around, never silently reused and never silently deleted.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import io
 import json
 import os
 import pathlib
@@ -34,6 +47,9 @@ import tempfile
 import time
 from typing import Any
 
+import numpy as np
+
+from repro.api import trace as trace_io
 from repro.farm import faults
 from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec
@@ -102,11 +118,24 @@ class ArtifactStore:
     def quarantine_dir(self) -> pathlib.Path:
         return self.root / "quarantine"
 
+    @property
+    def trace_dir(self) -> pathlib.Path:
+        return self.root / "traces"
+
     def artifact_path(self, job: JobSpec) -> pathlib.Path:
         return self.artifact_dir / f"{job.key()}.pkl"
 
     def meta_path(self, job: JobSpec) -> pathlib.Path:
         return self.artifact_dir / f"{job.key()}.json"
+
+    def images_path(self, job: JobSpec) -> pathlib.Path:
+        return self.artifact_dir / f"{job.key()}.npy"
+
+    def trace_path(self, job: JobSpec) -> pathlib.Path:
+        return self.trace_dir / f"{job.trace_key()}.jsonl"
+
+    def trace_meta_path(self, job: JobSpec) -> pathlib.Path:
+        return self.trace_dir / f"{job.trace_key()}.meta.json"
 
     def checkpoint_path(self, job: JobSpec) -> pathlib.Path:
         return self.checkpoint_dir / f"{job.key()}.ckpt"
@@ -189,6 +218,12 @@ class ArtifactStore:
             )
             self.misses += 1
             return None
+        images_meta = meta.get("images")
+        if images_meta:
+            result = self._attach_images(job, result, images_meta)
+            if result is None:
+                self.misses += 1
+                return None
         if validate:
             violations = validate_result(job, result)
             if violations:
@@ -202,9 +237,74 @@ class ArtifactStore:
         self.hits += 1
         return result
 
+    def _attach_images(self, job: JobSpec, result: Any, images_meta: dict):
+        """Reattach the ``.npy`` frame sidecar as memory-mapped views.
+
+        Any failure — missing file, checksum mismatch, undecodable array,
+        wrong frame count — quarantines the whole artifact family and
+        reports a miss, so a damaged mapped file degrades to a recompute
+        instead of a crash (or worse, silently wrong pixels) later when
+        the pages are actually touched.
+        """
+        family = [
+            self.artifact_path(job),
+            self.meta_path(job),
+            self.images_path(job),
+        ]
+        npy = self.images_path(job)
+        try:
+            blob = npy.read_bytes()
+        except OSError:
+            self.quarantine(
+                family, f"image sidecar missing for {job.describe()}"
+            )
+            return None
+        digest = hashlib.sha256(blob).hexdigest()
+        expected = images_meta.get("sha256")
+        if expected is not None and digest != expected:
+            self.quarantine(
+                family,
+                f"image sidecar checksum mismatch ({digest[:12]} != "
+                f"{expected[:12]}) for {job.describe()}",
+            )
+            return None
+        try:
+            stacked = np.load(npy, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            self.quarantine(
+                family,
+                f"image sidecar undecodable ({type(exc).__name__}: {exc}) "
+                f"for {job.describe()}",
+            )
+            return None
+        if len(stacked) != images_meta.get("count", len(stacked)):
+            self.quarantine(
+                family, f"image sidecar frame count wrong for {job.describe()}"
+            )
+            return None
+        return dataclasses.replace(
+            result, images=[stacked[i] for i in range(len(stacked))]
+        )
+
+    @staticmethod
+    def _detach_images(result: Any):
+        """Split uniform rendered frames off a result for ``.npy`` storage.
+
+        Returns ``(slim_result, stacked_array | None)``; results without
+        images (or with ragged shapes, which ``np.stack`` can't express)
+        are stored whole.
+        """
+        images = getattr(result, "images", None)
+        if not images:
+            return result, None
+        if len({(a.shape, a.dtype.str) for a in images}) != 1:
+            return result, None
+        return dataclasses.replace(result, images=[]), np.stack(images)
+
     def save(self, job: JobSpec, result: Any, wall_s: float | None = None) -> None:
         faults.check_writable(f"artifact:{job.describe()}")
-        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        slim, stacked = self._detach_images(result)
+        blob = pickle.dumps(slim, protocol=pickle.HIGHEST_PROTOCOL)
         _atomic_write(self.artifact_path(job), blob)
         meta = {
             "key": job.key(),
@@ -217,6 +317,21 @@ class ArtifactStore:
             "code": code_version(),
             "created": time.time(),
         }
+        if stacked is None:
+            # A re-save must not leave a stale sidecar to be reattached.
+            try:
+                self.images_path(job).unlink()
+            except OSError:
+                pass
+        else:
+            buffer = io.BytesIO()
+            np.save(buffer, stacked, allow_pickle=False)
+            image_blob = buffer.getvalue()
+            _atomic_write(self.images_path(job), image_blob)
+            meta["images"] = {
+                "sha256": hashlib.sha256(image_blob).hexdigest(),
+                "count": int(stacked.shape[0]),
+            }
         _atomic_write(self.meta_path(job), json.dumps(meta, indent=1).encode())
         faults.corrupt_file(
             "corrupt_artifact", self.artifact_path(job), job.describe()
@@ -278,6 +393,80 @@ class ArtifactStore:
             except OSError:
                 pass
 
+    # -- shared traces --------------------------------------------------
+    def load_trace(self, job: JobSpec):
+        """The stored timedemo this job replays a slice of, or ``None``.
+
+        Keyed by :meth:`repro.farm.job.JobSpec.trace_key`, so every frame
+        shard of a run — and every kind sharing a profile — resolves to
+        the same file.  Verified and quarantined like artifacts.
+        """
+        path = self.trace_path(job)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        meta_path = self.trace_meta_path(job)
+        expected = None
+        try:
+            expected = json.loads(meta_path.read_text()).get("sha256")
+        except (OSError, json.JSONDecodeError):
+            pass
+        if expected is not None and hashlib.sha256(blob).hexdigest() != expected:
+            self.quarantine(
+                [path, meta_path],
+                f"trace checksum mismatch for {job.describe()}",
+            )
+            return None
+        try:
+            trace = trace_io.load_trace(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.quarantine(
+                [path, meta_path],
+                f"trace undecodable ({type(exc).__name__}: {exc}) "
+                f"for {job.describe()}",
+            )
+            return None
+        if trace.meta.frame_count < job.total_frames:
+            self.quarantine(
+                [path, meta_path],
+                f"trace too short ({trace.meta.frame_count} < "
+                f"{job.total_frames} frames) for {job.describe()}",
+            )
+            return None
+        return trace
+
+    def save_trace(self, job: JobSpec, trace) -> None:
+        """Persist a generated timedemo for other workers/shards to replay."""
+        faults.check_writable(f"trace:{job.describe()}")
+        path = self.trace_path(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            trace_io.save_trace(trace, tmp)
+            digest = hashlib.sha256(pathlib.Path(tmp).read_bytes()).hexdigest()
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        meta = {
+            "sha256": digest,
+            "frames": trace.meta.frame_count,
+            "workload": job.workload,
+            "created": time.time(),
+        }
+        _atomic_write(self.trace_meta_path(job), json.dumps(meta).encode())
+        faults.corrupt_file("corrupt_trace", path, job.describe())
+
+    def contains_trace(self, job: JobSpec) -> bool:
+        return self.trace_path(job).exists()
+
     # -- inspection / maintenance ---------------------------------------
     def entries(self) -> list[dict]:
         """Metadata for every stored artifact, newest first."""
@@ -289,8 +478,11 @@ class ArtifactStore:
                 meta = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
                 continue
-            pkl = path.with_suffix(".pkl")
-            meta["bytes"] = pkl.stat().st_size if pkl.exists() else 0
+            meta["bytes"] = sum(
+                side.stat().st_size
+                for side in (path.with_suffix(".pkl"), path.with_suffix(".npy"))
+                if side.exists()
+            )
             metas.append(meta)
         metas.sort(key=lambda m: m.get("created") or 0, reverse=True)
         return metas
@@ -309,6 +501,7 @@ class ArtifactStore:
         for directory in (
             self.artifact_dir,
             self.checkpoint_dir,
+            self.trace_dir,
             self.quarantine_dir,
         ):
             if not directory.is_dir():

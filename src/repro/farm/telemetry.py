@@ -34,6 +34,13 @@ class FarmTelemetry:
 
     records: list[JobRecord] = field(default_factory=list)
     failures: list[FailureRecord] = field(default_factory=list)
+    #: Accumulated seconds per execution phase: ``spawn`` (pool creation),
+    #: ``trace`` (timedemo generation/parse), ``simulate`` (pipeline work),
+    #: ``harvest`` (store reload + validation), ``merge`` (shard assembly).
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
 
     def record(
         self,
@@ -81,6 +88,11 @@ class FarmTelemetry:
         )
         if self.failures:
             line += f", {self.failed} FAILED"
+        if self.phases:
+            line += " [" + " ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in sorted(self.phases.items())
+            ) + "]"
         return line
 
     def summary_table(self, title: str = "Farm job summary") -> str:

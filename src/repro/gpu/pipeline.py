@@ -111,6 +111,7 @@ class GpuSimulator:
         keep_images: int = 0,
         resume: bool = False,
         on_frame=None,
+        start_frame: int = 0,
     ) -> SimulationResult:
         """Simulate ``trace`` (optionally truncated) and return the results.
 
@@ -119,18 +120,39 @@ class GpuSimulator:
         and 6) over long timedemos.  ``keep_images`` retains the color buffer
         of the first N frames.
 
-        ``resume=True`` skips the first :attr:`frames_completed` frames of
-        the trace, continuing a simulator restored from a checkpoint: all
-        pipeline state (framebuffer, caches, statistics, state machine) for
-        the skipped frames is already present, so the merged result is
-        identical to an uninterrupted run.  ``on_frame(sim, n)`` is invoked
-        after each completed frame — the farm's checkpoint hook.
+        ``start_frame=k`` simulates a frame *shard*: the first ``k`` frames
+        are fast-forwarded — their API calls are applied to the state
+        machine only, with no rendering, statistics, or memory traffic — and
+        simulation proper starts at frame ``k``.  Because every generated
+        frame opens with a full clear (framebuffer reset, z/color/texture
+        cache contents dropped), the pre-shard frames leave no pipeline
+        state behind beyond the render state the fast-forward replays, so a
+        shard's frames are bit-identical to the same frames of a serial run
+        (``max_frames`` still counts *simulated* frames, i.e. the shard
+        length).
+
+        ``resume=True`` skips the first ``start_frame`` +
+        :attr:`frames_completed` frames of the trace outright, continuing a
+        simulator restored from a checkpoint: all pipeline state
+        (framebuffer, caches, statistics, state machine) for the skipped
+        frames is already present, so the merged result is identical to an
+        uninterrupted run.  ``on_frame(sim, n)`` is invoked after each
+        completed frame — the farm's checkpoint hook.
         """
         images: list[np.ndarray] = []
-        skip = self.frames_completed if resume else 0
+        if resume:  # checkpointed state already covers the fast-forward
+            skip = start_frame + self.frames_completed
+            forward = 0
+        else:
+            skip = 0
+            forward = start_frame
         for frame in trace.frames():
             if skip > 0:
                 skip -= 1
+                continue
+            if forward > 0:
+                forward -= 1
+                self._fast_forward(frame)
                 continue
             if max_frames is not None and self.frames_completed >= max_frames:
                 break
@@ -140,6 +162,17 @@ class GpuSimulator:
             if on_frame is not None:
                 on_frame(self, self.frames_completed)
         return self.result(images=images)
+
+    def _fast_forward(self, frame: Frame) -> None:
+        """Apply a pre-shard frame's calls to the render state only.
+
+        No draws, clears, statistics, or memory traffic — those belong to
+        the shard that owns the frame.  Replaying the state stream keeps
+        program bindings, texture bindings, and uniforms exactly where a
+        serial run would have them when the shard's first frame begins.
+        """
+        for call in frame.calls:
+            self.machine.apply(call)
 
     def result(self, images: list[np.ndarray] | None = None) -> SimulationResult:
         """Merge the accumulated pipeline state into a SimulationResult.
@@ -204,6 +237,13 @@ class GpuSimulator:
         if call.color:
             self.fb.clear_color(call.color_value)
             self.color_stage.invalidate_cache()
+        if call.color and call.depth:
+            # A full-frame clear is the frame boundary: drop the texture
+            # cache contents too (counters survive).  Cross-frame texel
+            # reuse is negligible — a frame references far more lines than
+            # the caches hold — and starting every frame cold makes frames
+            # independent units, which the farm's frame sharding requires.
+            self.texture_unit.invalidate_caches()
 
     def _gather_constants(self) -> dict[int, tuple]:
         uniforms = self.machine.uniforms

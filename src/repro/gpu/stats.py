@@ -135,6 +135,20 @@ class FrameGpuStats:
         total.frames += 1
 
 
+def merge_frames(frame_stats) -> "GpuStats":
+    """Fold per-frame counters into a fresh whole-run :class:`GpuStats`.
+
+    Every counter shared by the two classes is additive and every quad fate
+    is a per-frame event, so the totals of any frame range are exactly the
+    sum of its frames — the property the farm's shard-merge layer
+    (:mod:`repro.farm.merge`) relies on.
+    """
+    total = GpuStats()
+    for fstats in frame_stats:
+        fstats.merge_into(total)
+    return total
+
+
 @dataclass
 class GpuStats:
     """Whole-run aggregation plus derived Table VII-XIII metrics."""

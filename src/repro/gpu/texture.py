@@ -167,6 +167,20 @@ class TextureUnit:
                 raise KeyError(f"texture {name!r} not registered")
             self._bindings[unit] = name
 
+    def invalidate_caches(self) -> None:
+        """Drop L0/L1 contents (texture data is read-only, nothing to flush).
+
+        Called at full-frame clears: a frame touches far more texels than
+        the caches hold, so cross-frame reuse is negligible — dropping the
+        contents at the frame boundary makes every frame's reference stream
+        independent of the frames before it, which is what lets the farm
+        shard a run by frame ranges bit-identically.  Hit/miss/access
+        counters are preserved (they span the whole run).
+        """
+        for cache in (self.l0, self.l1):
+            for cache_set in cache._sets:
+                cache_set.clear()
+
     def set_filter(self, filter: TextureFilter, max_aniso: int | None = None) -> None:
         self._filter = filter
         if max_aniso is not None:
