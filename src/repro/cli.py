@@ -11,6 +11,8 @@ Subcommands
 ``figures``       regenerate paper figures (text + CSV) into a directory
 ``scorecard``     regenerate EXPERIMENTS.md (measured vs paper)
 ``bench``         pipeline throughput benchmark (writes BENCH_pipeline.json)
+``observe``       traced run: export a Chrome-trace/Perfetto timeline,
+                  rank spans and draw calls, dump the metrics registry
 ``farm``          inspect (``status``) or empty (``clear``) the artifact cache
 ``chaos``         injected-fault recovery suite (crash/hang/corruption/...)
 
@@ -386,7 +388,25 @@ def _cmd_bench(args) -> int:
                 f"  --jobs {width}: {entry['seconds']}s, "
                 f"{entry['speedup']:.2f}x [{phases}]"
             )
+    observer = doc.get("observer")
+    if observer:
+        print(
+            f"observer: {observer['seconds']}s traced "
+            f"({observer['spans']} spans), "
+            f"{observer['overhead_pct']:+.1f}% vs untraced"
+        )
     failed = False
+    if (
+        args.max_observer_overhead is not None
+        and observer
+        and observer["overhead_pct"] > args.max_observer_overhead
+    ):
+        print(
+            f"FAIL: observer overhead {observer['overhead_pct']:+.1f}% above "
+            f"allowed {args.max_observer_overhead:.1f}%",
+            file=sys.stderr,
+        )
+        failed = True
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(
             f"FAIL: speedup {speedup:.2f}x below required "
@@ -407,6 +427,84 @@ def _cmd_bench(args) -> int:
             )
             failed = True
     return 1 if failed else 0
+
+
+def _cmd_observe(args) -> int:
+    """Traced run → Chrome-trace/JSONL export, top spans, metrics dump."""
+    from repro import observe
+    from repro.farm import Farm, JobSpec
+    from repro.farm.telemetry import FarmTelemetry
+    from repro.gpu.profiler import records_from_timeline
+
+    observe.metrics.reset()
+    tracer = observe.enable(track="main")
+    try:
+        # The farm's phase accounting goes straight into the process-wide
+        # registry, so the summary line and the metrics dump share counters.
+        farm = Farm(
+            store=_make_store(args),
+            jobs=_resolve_jobs(args),
+            use_cache=not args.no_cache,
+            strict=not args.keep_going,
+            shard_frames=args.shard_frames,
+            telemetry=FarmTelemetry(registry=observe.registry()),
+        )
+        with farm:
+            farm.run_one(JobSpec(args.kind, args.workload, args.frames))
+        timeline = tracer.timeline(observe.registry().snapshot())
+    finally:
+        observe.disable()
+
+    printed = False
+    if args.export:
+        out = observe.write_export(args.export, timeline, clock=args.clock)
+        print(
+            f"wrote {out}: {len(timeline)} track(s), "
+            f"{sum(len(t['spans']) for t in timeline)} span(s), "
+            f"clock={args.clock}"
+            + (
+                " (open at https://ui.perfetto.dev)"
+                if out.suffix != ".jsonl"
+                else ""
+            )
+        )
+        printed = True
+    if args.timeline:
+        print(observe.ascii_timeline(timeline))
+        printed = True
+    if args.top_spans:
+        print(observe.format_top_spans(timeline, args.top_spans))
+        printed = True
+    if args.top_draws:
+        records = records_from_timeline(timeline)
+        records.sort(key=lambda r: getattr(r, args.sort), reverse=True)
+        rows = [
+            [
+                r.frame,
+                r.index,
+                r.mesh,
+                r.pass_kind,
+                r.triangles_traversed,
+                r.fragments_shaded,
+                getattr(r, args.sort),
+            ]
+            for r in records[: args.top_draws]
+        ]
+        print(
+            format_table(
+                ["frame", "draw", "mesh", "pass", "tris", "frags", args.sort],
+                rows,
+                title=f"Top {len(rows)} draws by {args.sort}",
+            )
+        )
+        printed = True
+    if args.metrics:
+        print(observe.format_metrics(observe.registry()))
+        printed = True
+    if not printed:
+        print(farm.telemetry.summary_line())
+        print(observe.format_top_spans(timeline, 10))
+    return 0
 
 
 def _cmd_chaos(args) -> int:
@@ -552,7 +650,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) if the farm speedup at the widest --jobs value "
         "falls below this multiple of the serial farm run",
     )
+    p.add_argument(
+        "--max-observer-overhead",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the traced run is more than this many "
+        "percent slower than the untraced run",
+    )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "observe",
+        help="traced run: export a timeline, rank spans/draws, dump metrics",
+    )
+    p.add_argument("workload")
+    p.add_argument("--frames", type=int, default=2)
+    p.add_argument(
+        "--kind", choices=["sim", "api", "geometry"], default="sim"
+    )
+    p.add_argument(
+        "--shard-frames",
+        type=int,
+        default=None,
+        help="farm frame-sharding policy (default automatic, 0 off; pin to "
+        "a fixed value for exports comparable across --jobs widths)",
+    )
+    p.add_argument(
+        "--export",
+        default=None,
+        help="write the merged timeline: .json = Chrome-trace/Perfetto, "
+        ".jsonl = line records",
+    )
+    p.add_argument(
+        "--clock",
+        choices=["logical", "wall"],
+        default="logical",
+        help="export clock: 'logical' (event sequence, bit-stable across "
+        "reruns) or 'wall' (real durations for Perfetto viewing)",
+    )
+    p.add_argument(
+        "--timeline", action="store_true", help="print an ASCII timeline"
+    )
+    p.add_argument(
+        "--top-spans",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N heaviest span names by total wall time",
+    )
+    p.add_argument(
+        "--top-draws",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N heaviest draw calls (from gpu.draw spans)",
+    )
+    p.add_argument(
+        "--sort",
+        default="memory_bytes",
+        choices=["memory_bytes", "fragments_rasterized", "fragments_shaded",
+                 "triangles_traversed", "bilinear_samples"],
+        help="ranking attribute for --top-draws",
+    )
+    p.add_argument(
+        "--metrics", action="store_true", help="dump the metrics registry"
+    )
+    _add_farm_flags(p)
+    p.set_defaults(func=_cmd_observe)
 
     p = sub.add_parser(
         "chaos",

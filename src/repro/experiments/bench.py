@@ -29,6 +29,7 @@ import time
 from typing import Sequence
 
 from repro.gpu.config import GpuConfig
+from repro.observe import spans as obs_spans
 from repro.workloads import build_workload
 
 #: Default benchmark workload (the paper's lead Direct3D→OpenGL exhibit).
@@ -64,6 +65,32 @@ def _run_pipeline(
         "triangles_per_s": round(stats.triangles_traversed / seconds, 1),
         "fragments_per_s": round(stats.fragments_rasterized / seconds, 1),
     }
+
+
+def _run_observed(name: str, frames: int, repeats: int = 1) -> dict:
+    """Time the QuadStream path with the span tracer attached.
+
+    Same min-of-N protocol as :func:`_run_pipeline`; each repeat gets a
+    fresh tracer (``env=False`` keeps the flag out of the environment so
+    nothing beyond this process starts tracing).  The span count is
+    recorded so the overhead number can be read per event.
+    """
+    workload = build_workload(name, sim=False)
+    config = dataclasses.replace(GpuConfig.r520(), vectorized=True)
+    seconds = float("inf")
+    spans = 0
+    for _ in range(max(1, repeats)):
+        sim = workload.simulator(config)
+        trace = workload.trace(frames=frames)
+        tracer = obs_spans.enable(track="bench", env=False)
+        try:
+            start = time.perf_counter()
+            sim.run_trace(trace, max_frames=frames)
+            seconds = min(seconds, time.perf_counter() - start)
+        finally:
+            obs_spans.disable()
+        spans = len(tracer.spans)
+    return {"seconds": round(seconds, 3), "spans": spans}
 
 
 def _measure_farm(specs: list, width: int) -> dict:
@@ -142,6 +169,11 @@ def bench_pipeline(
             ),
         },
     }
+    observed = _run_observed(workload, frames=frames, repeats=repeats)
+    observed["overhead_pct"] = round(
+        100.0 * (observed["seconds"] / quadstream["seconds"] - 1.0), 1
+    )
+    doc["observer"] = observed
     if include_farm:
         doc["farm"] = _run_farm(farm_frames, jobs)
     return doc

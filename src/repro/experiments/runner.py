@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.api.stats import WorkloadApiStats
 from repro.farm import Farm, JobSpec
+from repro.observe import spans as obs_spans
 from repro.gpu.config import GpuConfig
 from repro.gpu.pipeline import SimulationResult
 from repro.workloads import build_workload
@@ -117,7 +118,10 @@ class Runner:
 
     def _get(self, job: JobSpec) -> Any:
         if job not in self._results:
-            self._results[job] = self.farm.run_one(job)
+            with obs_spans.span("runner.job", "runner") as s:
+                if s:
+                    s.set("job", job.describe())
+                self._results[job] = self.farm.run_one(job)
         return self._results[job]
 
     # -- public API ------------------------------------------------------
@@ -210,7 +214,10 @@ class Runner:
         jobs += [self._job("geometry", name) for name in geometry_names]
         missing = [job for job in jobs if job not in self._results]
         if missing:
-            self._results.update(self.farm.run(missing))
+            with obs_spans.span("runner.prefetch", "runner") as s:
+                if s:
+                    s.set("jobs", len(missing))
+                self._results.update(self.farm.run(missing))
 
     def clear(self) -> None:
         """Drop the in-process memo (the on-disk artifact store persists)."""

@@ -68,6 +68,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import observe
 from repro.farm import faults
 from repro.farm.checkpoint import job_trace, run_api_job, run_checkpointed
 from repro.farm.invariants import validate_result
@@ -159,28 +160,51 @@ def run_job(
     """
     faults.reset_native_if_planned()
     faults.on_job_start(job.describe())
+    # Per-unit tracing scope: in a pool worker this installs a fresh tracer
+    # (buffer contents depend only on this unit's work, never on which
+    # worker ran it); in the parent it is just a span on the live tracer.
+    scope = observe.UnitScope(job.describe())
+    if scope.fresh:
+        observe.metrics.reset()
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
-    if store is not None:
-        cached = store.load(job)
-        if cached is not None:
-            return JobOutcome(cached, 0.0, from_cache=True, key=job.key())
-    phases: dict[str, float] = {}
-    start = time.perf_counter()
-    trace = job_trace(job, store)
-    phases["trace"] = time.perf_counter() - start
-    mark = time.perf_counter()
-    if job.kind == "api":
-        result = run_api_job(job, store, trace=trace)
-    else:
-        result = run_checkpointed(job, store, checkpoint_every, trace=trace)
-    phases["simulate"] = time.perf_counter() - mark
-    wall_s = time.perf_counter() - start
-    if store is not None:
-        try:
-            store.save(job, result, wall_s=wall_s)
-        except OSError:
-            pass  # full or read-only cache dir: the computation still succeeded
-    return JobOutcome(result, wall_s, key=job.key(), phases=phases)
+    outcome: JobOutcome | None = None
+    try:
+        if store is not None:
+            cached = store.load(job)
+            if cached is not None:
+                outcome = JobOutcome(
+                    cached, 0.0, from_cache=True, key=job.key()
+                )
+                return outcome
+        phases: dict[str, float] = {}
+        start = time.perf_counter()
+        trace = job_trace(job, store)
+        phases["trace"] = time.perf_counter() - start
+        mark = time.perf_counter()
+        if job.kind == "api":
+            result = run_api_job(job, store, trace=trace)
+        else:
+            result = run_checkpointed(job, store, checkpoint_every, trace=trace)
+        phases["simulate"] = time.perf_counter() - mark
+        wall_s = time.perf_counter() - start
+        if store is not None:
+            try:
+                store.save(job, result, wall_s=wall_s)
+            except OSError:
+                pass  # full or read-only cache: the computation still succeeded
+        outcome = JobOutcome(result, wall_s, key=job.key(), phases=phases)
+        return outcome
+    finally:
+        payload = scope.finish(
+            metrics=observe.registry().snapshot() if scope.fresh else None
+        )
+        if (
+            payload is not None
+            and store is not None
+            and isinstance(outcome, JobOutcome)
+            and not outcome.from_cache
+        ):
+            store.save_spans(job, payload)
 
 
 def _pool_entry(
@@ -360,37 +384,48 @@ class Farm:
         causes: dict[JobSpec, list[str]] = {}
         results: dict[JobSpec, Any] = {}
         pending: list[JobSpec] = []
-        for job in jobs:
-            if job in results or job in pending:
-                continue
-            if self.use_cache:
-                start = time.perf_counter()
-                cached = self.store.load(job)
-                if cached is not None:
-                    results[job] = cached
-                    self.telemetry.record(
-                        job.describe(),
-                        job.key(),
-                        "cache",
-                        time.perf_counter() - start,
-                    )
-                    continue
-            pending.append(job)
+        run_span = observe.span("farm.run", "farm")
+        if run_span:
+            run_span.set("jobs", len(jobs))
+        try:
+            with observe.span("farm.probe", "farm") as probe_span:
+                for job in jobs:
+                    if job in results or job in pending:
+                        continue
+                    if self.use_cache:
+                        start = time.perf_counter()
+                        cached = self.store.load(job)
+                        if cached is not None:
+                            results[job] = cached
+                            self.telemetry.record(
+                                job.describe(),
+                                job.key(),
+                                "cache",
+                                time.perf_counter() - start,
+                            )
+                            continue
+                    pending.append(job)
+                if probe_span:
+                    probe_span.set("hits", len(results))
+                    probe_span.set("misses", len(pending))
 
-        if pending:
-            plan = self._plan_units(pending, worker)
-            units = [unit for job in pending for unit in plan[job]]
-            if self.jobs <= 1 or len(units) == 1:
-                failed = self._run_serial(
-                    pending, worker, results, source="serial", causes=causes
-                )
-                self._record_failures(report, failed, causes)
-            else:
-                unit_results: dict[JobSpec, Any] = {}
-                self._run_units(units, worker, unit_results, causes)
-                self._assemble(
-                    pending, plan, unit_results, results, causes, report
-                )
+            if pending:
+                plan = self._plan_units(pending, worker)
+                units = [unit for job in pending for unit in plan[job]]
+                if self.jobs <= 1 or len(units) == 1:
+                    failed = self._run_serial(
+                        pending, worker, results, source="serial", causes=causes
+                    )
+                    self._record_failures(report, failed, causes)
+                else:
+                    unit_results: dict[JobSpec, Any] = {}
+                    self._run_units(units, worker, unit_results, causes)
+                    self._assemble(
+                        pending, plan, unit_results, results, causes, report
+                    )
+        finally:
+            if run_span:
+                run_span.__exit__(None, None, None)
 
         report.completed = len(results)
         if report.failures and self.strict:
@@ -432,38 +467,48 @@ class Farm:
                 results[parent] = unit_results[units[0]]
                 continue
             start = time.perf_counter()
+            merge_span = observe.span("farm.merge", "farm")
+            if merge_span:
+                merge_span.set("job", parent.describe())
+                merge_span.set("units", len(units))
             try:
-                merged = merge_results([unit_results[unit] for unit in units])
-            except MergeError as exc:
-                self._note(causes, parent, f"shard merge failed: {exc}")
-                failed.append(parent)
-                continue
-            violations = validate_result(parent, merged)
-            if violations:
-                self._note(
-                    causes,
-                    parent,
-                    "merged result invariant violation: "
-                    + "; ".join(violations),
-                )
-                failed.append(parent)
-                continue
-            if self.use_cache:
                 try:
-                    self.store.save(parent, merged)
-                except OSError:
-                    pass
-            wall = time.perf_counter() - start
-            self.telemetry.add_phase("merge", wall)
-            results[parent] = merged
-            self.telemetry.record(
-                parent.describe(),
-                parent.key(),
-                "merge",
-                wall,
-                1,
-                tuple(causes.get(parent, ())),
-            )
+                    merged = merge_results(
+                        [unit_results[unit] for unit in units]
+                    )
+                except MergeError as exc:
+                    self._note(causes, parent, f"shard merge failed: {exc}")
+                    failed.append(parent)
+                    continue
+                violations = validate_result(parent, merged)
+                if violations:
+                    self._note(
+                        causes,
+                        parent,
+                        "merged result invariant violation: "
+                        + "; ".join(violations),
+                    )
+                    failed.append(parent)
+                    continue
+                if self.use_cache:
+                    try:
+                        self.store.save(parent, merged)
+                    except OSError:
+                        pass
+                wall = time.perf_counter() - start
+                self.telemetry.add_phase("merge", wall)
+                results[parent] = merged
+                self.telemetry.record(
+                    parent.describe(),
+                    parent.key(),
+                    "merge",
+                    wall,
+                    1,
+                    tuple(causes.get(parent, ())),
+                )
+            finally:
+                if merge_span:
+                    merge_span.__exit__(None, None, None)
         self._record_failures(report, failed, causes)
 
     # -- failure bookkeeping --------------------------------------------
@@ -710,6 +755,12 @@ class Farm:
                     self.telemetry.add_phase(
                         "harvest", time.perf_counter() - mark
                     )
+                    if (
+                        isinstance(outcome, JobOutcome)
+                        and not outcome.from_cache
+                        and self.use_cache
+                    ):
+                        observe.absorb_job(self.store, job)
                     self._harvest(
                         job,
                         outcome,

@@ -143,6 +143,9 @@ class ArtifactStore:
     def checkpoint_meta_path(self, job: JobSpec) -> pathlib.Path:
         return self.checkpoint_dir / f"{job.key()}.meta.json"
 
+    def spans_path(self, job: JobSpec) -> pathlib.Path:
+        return self.artifact_dir / f"{job.key()}.spans.jsonl"
+
     # -- quarantine ------------------------------------------------------
     def quarantine(self, paths: list[pathlib.Path], reason: str) -> None:
         """Move corrupt files aside so they are never loaded again.
@@ -339,6 +342,52 @@ class ArtifactStore:
 
     def contains(self, job: JobSpec) -> bool:
         return self.artifact_path(job).exists()
+
+    # -- span sidecars ---------------------------------------------------
+    def save_spans(self, job: JobSpec, payload: dict) -> None:
+        """Persist a worker's span-buffer payload next to the artifact.
+
+        Format: one JSON header line (track identity, metrics snapshot,
+        span count, SHA-256 of the span body), then one JSON span per
+        line.  Best effort — observability must never fail a job, so
+        write errors are swallowed.
+        """
+        spans = payload.get("spans", [])
+        body = "".join(
+            json.dumps(doc, sort_keys=True) + "\n" for doc in spans
+        )
+        head = {k: v for k, v in payload.items() if k != "spans"}
+        head["count"] = len(spans)
+        head["sha256"] = hashlib.sha256(body.encode()).hexdigest()
+        text = json.dumps(head, sort_keys=True) + "\n" + body
+        try:
+            _atomic_write(self.spans_path(job), text.encode())
+        except OSError:
+            pass
+
+    def load_spans(self, job: JobSpec) -> dict | None:
+        """Load and verify a span sidecar; quarantine and None on corruption."""
+        path = self.spans_path(job)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            head_line, _, body = text.partition("\n")
+            head = json.loads(head_line)
+            digest = hashlib.sha256(body.encode()).hexdigest()
+            if digest != head.get("sha256"):
+                raise ValueError("span sidecar checksum mismatch")
+            spans = [json.loads(line) for line in body.splitlines() if line]
+            if len(spans) != head.get("count"):
+                raise ValueError("span sidecar count mismatch")
+        except (ValueError, TypeError, KeyError) as exc:
+            self.quarantine([path], f"span sidecar: {exc}")
+            return None
+        head.pop("sha256", None)
+        head.pop("count", None)
+        head["spans"] = spans
+        return head
 
     # -- checkpoints ----------------------------------------------------
     def load_checkpoint(self, job: JobSpec) -> Any | None:

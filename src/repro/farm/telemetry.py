@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observe import metrics as obs_metrics
+from repro.observe import spans as obs_spans
+from repro.observe.metrics import MetricsRegistry
 from repro.util.tables import format_table
+
+#: Registry namespace for phase wall-time counters (seconds).
+PHASE_PREFIX = "farm.phase."
 
 
 @dataclass
@@ -34,13 +40,31 @@ class FarmTelemetry:
 
     records: list[JobRecord] = field(default_factory=list)
     failures: list[FailureRecord] = field(default_factory=list)
-    #: Accumulated seconds per execution phase: ``spawn`` (pool creation),
-    #: ``trace`` (timedemo generation/parse), ``simulate`` (pipeline work),
-    #: ``harvest`` (store reload + validation), ``merge`` (shard assembly).
-    phases: dict[str, float] = field(default_factory=dict)
+    #: Phase accounting lives in a metrics registry (one per telemetry
+    #: instance by default so concurrent Farms never collide; the ``repro
+    #: observe`` CLI passes the process-wide registry in so ``farm status``
+    #: lines and metric dumps read the very same counters).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def add_phase(self, phase: str, seconds: float) -> None:
-        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+        """Accumulate seconds for an execution phase: ``spawn`` (pool
+        creation), ``trace`` (timedemo generation/parse), ``simulate``
+        (pipeline work), ``harvest`` (store reload + validation), ``merge``
+        (shard assembly)."""
+        self.registry.counter(PHASE_PREFIX + phase).inc(seconds)
+        # While tracing, mirror into the process-wide registry so span
+        # exports carry phase totals even for a privately-registered farm.
+        shared = obs_metrics.registry()
+        if obs_spans.enabled() and self.registry is not shared:
+            shared.counter(PHASE_PREFIX + phase).inc(seconds)
+
+    @property
+    def phases(self) -> dict[str, float]:
+        """``{phase: seconds}`` view over the registry (sorted by name)."""
+        return {
+            name[len(PHASE_PREFIX):]: metric.value
+            for name, metric in self.registry.items(PHASE_PREFIX)
+        }
 
     def record(
         self,

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from repro.gpu.config import GpuConfig
 from repro.gpu.memory import MemoryController
 from repro.gpu.stats import GpuStats
+from repro.observe import metrics as obs_metrics
+from repro.observe import spans as obs_spans
 
 
 @dataclass(frozen=True)
@@ -65,7 +67,7 @@ def estimate(
 ) -> PerfEstimate:
     """Build a :class:`PerfEstimate` from simulation statistics."""
     shader_ops = stats.vertex_instructions + stats.fragment_instructions
-    return PerfEstimate(
+    est = PerfEstimate(
         vertex_cycles=stats.vertices_shaded / max(config.shader_units, 1),
         setup_cycles=stats.triangles_assembled / config.triangles_per_cycle,
         zstencil_cycles=stats.fragments_zstencil / config.zstencil_rate,
@@ -75,3 +77,14 @@ def estimate(
         memory_cycles=memory.total_bytes / config.memory_bytes_per_cycle,
         frames=stats.frames,
     )
+    if obs_spans.enabled():
+        reg = obs_metrics.registry()
+        reg.gauge("gpu.perf.cycles_per_frame").set(est.cycles_per_frame)
+        for stage in (
+            "vertex", "setup", "zstencil", "shader", "texture", "color",
+            "memory",
+        ):
+            reg.gauge(f"gpu.perf.{stage}_cycles").set(
+                getattr(est, f"{stage}_cycles")
+            )
+    return est

@@ -25,6 +25,8 @@ from repro.api.commands import (
 from repro.api.state import StateMachine
 from repro.api.trace import Frame, Trace
 from repro.geometry.mesh import Mesh
+from repro.observe import metrics as obs_metrics
+from repro.observe import spans as obs_spans
 from repro.geometry.primitives import assemble_triangles
 from repro.gpu.caches import Cache
 from repro.gpu.clipper import clip_and_cull
@@ -146,21 +148,31 @@ class GpuSimulator:
         else:
             skip = 0
             forward = start_frame
-        for frame in trace.frames():
-            if skip > 0:
-                skip -= 1
-                continue
-            if forward > 0:
-                forward -= 1
-                self._fast_forward(frame)
-                continue
-            if max_frames is not None and self.frames_completed >= max_frames:
-                break
-            self.run_frame(frame, fragment_stages=fragment_stages)
-            if len(images) < keep_images:
-                images.append(self.fb.color_image())
-            if on_frame is not None:
-                on_frame(self, self.frames_completed)
+        run_span = obs_spans.span("gpu.run", "gpu")
+        try:
+            for frame in trace.frames():
+                if skip > 0:
+                    skip -= 1
+                    continue
+                if forward > 0:
+                    forward -= 1
+                    self._fast_forward(frame)
+                    continue
+                if max_frames is not None and self.frames_completed >= max_frames:
+                    break
+                self.run_frame(frame, fragment_stages=fragment_stages)
+                if len(images) < keep_images:
+                    images.append(self.fb.color_image())
+                if on_frame is not None:
+                    on_frame(self, self.frames_completed)
+        finally:
+            if run_span:
+                run_span.set("frames", self.frames_completed)
+                run_span.set("start_frame", start_frame)
+                obs_metrics.registry().gauge("gpu.memory_bytes").set(
+                    int(self.memory.total_bytes)
+                )
+                run_span.__exit__(None, None, None)
         return self.result(images=images)
 
     def _fast_forward(self, frame: Frame) -> None:
@@ -196,27 +208,52 @@ class GpuSimulator:
 
     def run_frame(self, frame: Frame, fragment_stages: bool = True) -> FrameGpuStats:
         fstats = FrameGpuStats(frame=frame.number)
-        for call in frame.calls:
-            self.memory.read(MemClient.CP, self._command_bytes(call))
-            if isinstance(call, Draw):
-                self._process_draw(call, fstats, fragment_stages)
-                continue
-            if isinstance(call, UploadResource):
-                self.memory.write(MemClient.CP, call.byte_size)
-            elif isinstance(call, Clear):
-                self._apply_clear(call)
-            elif isinstance(call, BindTexture):
-                pass  # applied through the state machine below
-            self.machine.apply(call)
-        if fragment_stages:
-            self.color_stage.flush()
-            self.memory.read(
-                MemClient.DAC,
-                self.config.pixels * self.config.framebuffer_bytes_per_pixel,
-            )
+        frame_span = obs_spans.span("gpu.frame", "gpu")
+        if frame_span:
+            frame_span.set("frame", frame.number)
+        try:
+            for call in frame.calls:
+                self.memory.read(MemClient.CP, self._command_bytes(call))
+                if isinstance(call, Draw):
+                    self._process_draw(call, fstats, fragment_stages)
+                    continue
+                if isinstance(call, UploadResource):
+                    self.memory.write(MemClient.CP, call.byte_size)
+                elif isinstance(call, Clear):
+                    self._apply_clear(call)
+                elif isinstance(call, BindTexture):
+                    pass  # applied through the state machine below
+                self.machine.apply(call)
+            if fragment_stages:
+                self.color_stage.flush()
+                self.memory.read(
+                    MemClient.DAC,
+                    self.config.pixels * self.config.framebuffer_bytes_per_pixel,
+                )
+        finally:
+            if frame_span:
+                self._publish_frame_metrics(fstats)
+                frame_span.__exit__(None, None, None)
         fstats.merge_into(self.stats)
         self.frame_stats.append(fstats)
         return fstats
+
+    @staticmethod
+    def _publish_frame_metrics(fstats: FrameGpuStats) -> None:
+        """Per-frame event counts into the process-wide metrics registry.
+
+        Only called while tracing — the counters travel in worker sidecars
+        and merge order-independently at harvest.
+        """
+        reg = obs_metrics.registry()
+        reg.counter("gpu.frames").inc()
+        reg.counter("gpu.triangles_traversed").inc(fstats.triangles_traversed)
+        reg.counter("gpu.fragments_rasterized").inc(fstats.fragments_rasterized)
+        reg.counter("gpu.fragments_shaded").inc(fstats.fragments_shaded)
+        reg.counter("gpu.fragments_blended").inc(fstats.fragments_blended)
+        reg.histogram("gpu.frame_fragments_shaded").observe(
+            fstats.fragments_shaded
+        )
 
     # -- internals ------------------------------------------------------
     @staticmethod
@@ -267,11 +304,70 @@ class GpuSimulator:
     def _process_draw(
         self, draw: Draw, fstats: FrameGpuStats, fragment_stages: bool
     ) -> None:
+        """Span-accounting wrapper around :meth:`_process_draw_impl`.
+
+        Kept as the patch point :class:`~repro.gpu.profiler.DrawProfiler`
+        wraps.  With tracing disabled this adds one no-op span lookup per
+        draw; enabled, it records the same per-draw deltas the profiler
+        does, as ``gpu.draw`` span attributes.
+        """
+        draw_span = obs_spans.span("gpu.draw", "gpu")
+        if not draw_span:
+            self._process_draw_impl(draw, fstats, fragment_stages)
+            return
+        memory_before = self.memory.total_bytes
+        before = (
+            fstats.indices,
+            fstats.triangles_traversed,
+            fstats.fragments_rasterized,
+            fstats.fragments_shaded,
+            fstats.fragments_blended,
+            fstats.fragment_instructions,
+            fstats.bilinear_samples,
+        )
+        try:
+            self._process_draw_impl(draw, fstats, fragment_stages)
+        finally:
+            state = self.machine.state
+            draw_span.set("frame", fstats.frame)
+            draw_span.set("mesh", draw.mesh)
+            draw_span.set("vertex_program", state.vertex_program)
+            draw_span.set("fragment_program", state.fragment_program)
+            draw_span.set("indices", fstats.indices - before[0])
+            draw_span.set(
+                "triangles_traversed", fstats.triangles_traversed - before[1]
+            )
+            draw_span.set(
+                "fragments_rasterized",
+                fstats.fragments_rasterized - before[2],
+            )
+            draw_span.set(
+                "fragments_shaded", fstats.fragments_shaded - before[3]
+            )
+            draw_span.set(
+                "fragments_blended", fstats.fragments_blended - before[4]
+            )
+            draw_span.set(
+                "fragment_instructions",
+                fstats.fragment_instructions - before[5],
+            )
+            draw_span.set(
+                "bilinear_samples", fstats.bilinear_samples - before[6]
+            )
+            draw_span.set(
+                "memory_bytes", int(self.memory.total_bytes - memory_before)
+            )
+            draw_span.__exit__(None, None, None)
+
+    def _process_draw_impl(
+        self, draw: Draw, fstats: FrameGpuStats, fragment_stages: bool
+    ) -> None:
         state = self.machine.state
         mesh = self.meshes[draw.mesh]
         vp = self.programs.get(state.vertex_program or "")
         constants = self._gather_constants()
-        vres = self.vertex_stage.process(mesh, draw, vp, constants)
+        with obs_spans.span("gpu.stage.vertex", "gpu"):
+            vres = self.vertex_stage.process(mesh, draw, vp, constants)
 
         fstats.indices += int(vres.indices.size)
         fstats.vertex_cache_references += vres.cache_references
@@ -279,16 +375,17 @@ class GpuSimulator:
         fstats.vertices_shaded += vres.vertices_shaded
         fstats.vertex_instructions += vres.instructions
 
-        triangles = assemble_triangles(vres.remap, draw.primitive)
-        ccr = clip_and_cull(
-            vres.clip_positions,
-            triangles,
-            vres.uv,
-            vres.color,
-            self.config.width,
-            self.config.height,
-            cull=state.cull,
-        )
+        with obs_spans.span("gpu.stage.geometry", "gpu"):
+            triangles = assemble_triangles(vres.remap, draw.primitive)
+            ccr = clip_and_cull(
+                vres.clip_positions,
+                triangles,
+                vres.uv,
+                vres.color,
+                self.config.width,
+                self.config.height,
+                cull=state.cull,
+            )
         fstats.triangles_assembled += ccr.assembled
         fstats.triangles_clipped += ccr.clipped
         fstats.triangles_culled += ccr.culled
@@ -324,6 +421,9 @@ class GpuSimulator:
     ) -> None:
         """Per-triangle reference path (``GpuConfig(vectorized=False)``)."""
         pending: list[tuple[QuadBatch, np.ndarray]] = []
+        # One span over the whole interleaved raster/HZ/Z loop — per-triangle
+        # spans would dominate the work they measure.
+        raster_span = obs_spans.span("gpu.stage.raster_z", "gpu")
         for t in range(tris.count):
             qb = rasterize_triangle(
                 tris.xy[t],
@@ -378,9 +478,12 @@ class GpuSimulator:
             else:
                 pending.append((qb, alive))
 
+        if raster_span:
+            raster_span.__exit__(None, None, None)
         if not pending:
             return
-        self._shade_and_write(pending, fp, state, fstats, early_z)
+        with obs_spans.span("gpu.stage.shade", "gpu"):
+            self._shade_and_write(pending, fp, state, fstats, early_z)
 
     def _shade_and_write(
         self,
@@ -477,7 +580,8 @@ class GpuSimulator:
         reference streams, and framebuffer contents are bit-identical to
         :meth:`_fragment_stages_classic` (see ``tests/test_quadstream.py``).
         """
-        stream = rasterize_draw(tris, self.config.width, self.config.height)
+        with obs_spans.span("gpu.stage.raster", "gpu"):
+            stream = rasterize_draw(tris, self.config.width, self.config.height)
         if stream is None:
             return
         fstats.fragments_rasterized += stream.fragment_count
@@ -485,9 +589,10 @@ class GpuSimulator:
         fstats.complete_quads_rasterized += stream.complete_quads
 
         if early_z:
-            surv, pass_mask = self._zstencil_stream(
-                stream, stream.cover, state, fstats, hz_on
-            )
+            with obs_spans.span("gpu.stage.zstencil", "gpu"):
+                surv, pass_mask = self._zstencil_stream(
+                    stream, stream.cover, state, fstats, hz_on
+                )
             if not surv.any():
                 return
             stream = stream.select(surv)
@@ -504,7 +609,10 @@ class GpuSimulator:
                 if culled.any():
                     stream = stream.select(~culled)
             live = stream.cover
-        self._shade_and_write_stream(stream, live, fp, state, fstats, early_z)
+        with obs_spans.span("gpu.stage.shade", "gpu"):
+            self._shade_and_write_stream(
+                stream, live, fp, state, fstats, early_z
+            )
 
     def _hz_cull(self, qx, qy, z, cover, state, fstats: FrameGpuStats):
         """Hierarchical-Z cull mask for a quad wave (counts HZ quad fates)."""

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.gpu.pipeline import GpuSimulator
 from repro.gpu.stats import FrameGpuStats, MemClient
+from repro.observe import metrics as obs_metrics
+from repro.observe import spans as obs_spans
 
 
 @dataclass
@@ -119,6 +121,65 @@ class DrawProfiler:
             memory_bytes=sim.memory.total_bytes - memory_before,
         )
         profile.draws.append(record)
+        if obs_spans.enabled():
+            reg = obs_metrics.registry()
+            reg.counter("profiler.draws").inc()
+            reg.histogram("profiler.draw_memory_bytes").observe(
+                record.memory_bytes
+            )
+            reg.histogram("profiler.draw_fragments_shaded").observe(
+                record.fragments_shaded
+            )
+
+
+def records_from_spans(span_docs) -> list[DrawRecord]:
+    """Rebuild :class:`DrawRecord` rows from exported ``gpu.draw`` spans.
+
+    The pipeline's draw spans carry the same per-draw deltas the profiler
+    computes, so ``repro observe --top-draws`` can rank heavy batches from
+    a trace without a separate profiled re-run.  ``index`` is the draw's
+    order within its frame, recovered from span order.
+    """
+    records: list[DrawRecord] = []
+    next_index: dict[int, int] = {}
+    for doc in span_docs:
+        if doc.get("name") != "gpu.draw":
+            continue
+        attrs = doc.get("attrs") or {}
+        frame = int(attrs.get("frame", -1))
+        index = next_index.get(frame, 0)
+        next_index[frame] = index + 1
+        records.append(
+            DrawRecord(
+                frame=frame,
+                index=index,
+                mesh=str(attrs.get("mesh", "")),
+                vertex_program=attrs.get("vertex_program"),
+                fragment_program=attrs.get("fragment_program"),
+                indices=int(attrs.get("indices", 0)),
+                triangles_traversed=int(attrs.get("triangles_traversed", 0)),
+                fragments_rasterized=int(
+                    attrs.get("fragments_rasterized", 0)
+                ),
+                fragments_shaded=int(attrs.get("fragments_shaded", 0)),
+                fragments_blended=int(attrs.get("fragments_blended", 0)),
+                fragment_instructions=int(
+                    attrs.get("fragment_instructions", 0)
+                ),
+                bilinear_samples=int(attrs.get("bilinear_samples", 0)),
+                memory_bytes=int(attrs.get("memory_bytes", 0)),
+            )
+        )
+    return records
+
+
+def records_from_timeline(tracks: list[dict]) -> list[DrawRecord]:
+    """Draw records from a merged multi-track timeline, frame-ordered."""
+    records = []
+    for track in tracks:
+        records.extend(records_from_spans(track.get("spans", ())))
+    records.sort(key=lambda r: (r.frame, r.index))
+    return records
 
 
 def profile_workload(workload, frames: int = 1) -> list[FrameProfile]:

@@ -1,0 +1,312 @@
+"""Timeline exports: Chrome-trace/Perfetto JSON, JSONL, ASCII, top spans.
+
+A *timeline* is a list of track payloads (see
+:meth:`repro.observe.spans.Tracer.timeline`): the parent's own track first,
+then every absorbed worker track in sorted order.  All exports walk that
+structure in deterministic order, and every span carries two clocks:
+
+* ``clock="logical"`` (the default) renders the per-track **event
+  sequence** — timestamps depend only on execution order, so two runs of
+  the same workload/seed produce byte-identical exports no matter how the
+  farm scheduled the units.  This is the diffable/CI form.
+* ``clock="wall"`` renders real ``perf_counter_ns`` durations, aligned
+  across processes with each track's ``time.time_ns`` anchor — the form to
+  open in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+The Chrome-trace output is the standard ``{"traceEvents": [...]}`` document
+of complete (``"ph": "X"``) events with one pid per track;
+:func:`validate_chrome` is the minimal schema check CI runs against every
+exported trace (structure, field types, and parent/child containment).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _depths(spans: list[dict]) -> list[int]:
+    depths = []
+    for doc in spans:
+        parent = doc["parent"]
+        depths.append(0 if parent < 0 else depths[parent] + 1)
+    return depths
+
+
+def _wall_us(track: dict, base_epoch_ns: int, t_ns: int) -> float:
+    offset = track["epoch_ns"] - base_epoch_ns - track["anchor_ns"]
+    return round((t_ns + offset) / 1000.0, 3)
+
+
+# -- Chrome trace ---------------------------------------------------------
+def to_chrome(tracks: list[dict], clock: str = "logical") -> dict:
+    """Build a Chrome-trace/Perfetto document from a timeline."""
+    if clock not in ("logical", "wall"):
+        raise ValueError(f"unknown clock {clock!r}")
+    base_epoch = min((t["epoch_ns"] for t in tracks), default=0)
+    events: list[dict] = []
+    for pid, track in enumerate(tracks, start=1):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": track["track"]},
+            }
+        )
+        for doc in track["spans"]:
+            if clock == "logical":
+                ts: float | int = doc["s0"]
+                dur: float | int = doc["s1"] - doc["s0"]
+            else:
+                ts = _wall_us(track, base_epoch, doc["t0"])
+                dur = round((doc["t1"] - doc["t0"]) / 1000.0, 3)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": doc["name"],
+                    "cat": doc["cat"],
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "dur": dur,
+                    "args": doc["attrs"],
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro observe",
+            "clock": clock,
+            "tracks": [t["track"] for t in tracks],
+        },
+    }
+
+
+def validate_chrome(doc) -> list[str]:
+    """Minimal schema check for an exported Chrome trace; [] means valid."""
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        return ["document must be an object with a 'traceEvents' list"]
+    events = doc["traceEvents"]
+    if not events:
+        errors.append("traceEvents is empty")
+    complete: dict[tuple, list[dict]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if ev.get("ph") not in ("X", "M"):
+            errors.append(f"{where}: ph must be 'X' or 'M'")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            errors.append(f"{where}: pid/tid must be integers")
+            continue
+        if ev["ph"] == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: ts must be a non-negative number")
+                continue
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: dur must be a non-negative number")
+                continue
+            complete.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    eps = 1e-3  # wall timestamps are rounded to 3 decimals (ns resolution)
+    for (pid, tid), lane in complete.items():
+        lane.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+        stack: list[float] = []  # open span end times
+        for ev in lane:
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1] - eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                errors.append(
+                    f"pid {pid} tid {tid}: span {ev['name']!r} at ts "
+                    f"{ev['ts']} overlaps its enclosing span"
+                )
+            stack.append(end)
+    return errors
+
+
+# -- JSONL ----------------------------------------------------------------
+def to_jsonl(tracks: list[dict]) -> str:
+    """Line-per-record export: a track header, then its spans, in order."""
+    lines = []
+    for track in tracks:
+        head = {k: v for k, v in track.items() if k != "spans"}
+        head["type"] = "track"
+        head["count"] = len(track["spans"])
+        lines.append(json.dumps(head, sort_keys=True))
+        for doc in track["spans"]:
+            lines.append(
+                json.dumps({"type": "span", **doc}, sort_keys=True)
+            )
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> list[dict]:
+    """Parse :func:`to_jsonl` output back into a timeline (round-trip)."""
+    tracks: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        kind = doc.pop("type", None)
+        if kind == "track":
+            doc.pop("count", None)
+            doc["spans"] = []
+            tracks.append(doc)
+        elif kind == "span":
+            if not tracks:
+                raise ValueError(f"line {lineno}: span before any track")
+            tracks[-1]["spans"].append(doc)
+        else:
+            raise ValueError(f"line {lineno}: unknown record type {kind!r}")
+    return tracks
+
+
+# -- ASCII timeline -------------------------------------------------------
+def _fmt_ms(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.1f}ms"
+    return f"{ns / 1e3:.0f}us"
+
+
+def ascii_timeline(
+    tracks: list[dict], width: int = 40, depth_limit: int = 2
+) -> str:
+    """Indented tree + proportional bars, one block per track."""
+    out: list[str] = []
+    for track in tracks:
+        spans = track["spans"]
+        out.append(f"-- track {track['track']} (pid {track['pid']}) " + "-" * 8)
+        if not spans:
+            out.append("  (no spans)")
+            continue
+        depths = _depths(spans)
+        t_min = min(doc["t0"] for doc in spans)
+        t_max = max(doc["t1"] for doc in spans)
+        extent = max(1, t_max - t_min)
+        shown = 0
+        for doc, depth in zip(spans, depths):
+            if depth > depth_limit:
+                continue
+            shown += 1
+            left = int(width * (doc["t0"] - t_min) / extent)
+            right = max(left + 1, int(width * (doc["t1"] - t_min) / extent))
+            bar = " " * left + "#" * (right - left)
+            label = ("  " * depth + doc["name"])[:38]
+            out.append(
+                f"  {label:<38} {_fmt_ms(doc['t1'] - doc['t0']):>9} "
+                f"|{bar:<{width}}|"
+            )
+        hidden = len(spans) - shown
+        if hidden:
+            out.append(f"  ... {hidden} deeper span(s) not shown")
+    return "\n".join(out)
+
+
+# -- aggregation ----------------------------------------------------------
+def top_spans(tracks: list[dict], n: int = 10) -> list[dict]:
+    """Aggregate spans by name across every track, heaviest total first.
+
+    ``self`` time is the span's wall time minus its direct children's, so
+    a hot leaf stage stands out even under a long-running parent.
+    """
+    totals: dict[str, dict] = {}
+    for track in tracks:
+        spans = track["spans"]
+        child_ns = [0] * len(spans)
+        for doc in spans:
+            if doc["parent"] >= 0:
+                child_ns[doc["parent"]] += doc["t1"] - doc["t0"]
+        for doc, children in zip(spans, child_ns):
+            agg = totals.setdefault(
+                doc["name"],
+                {"name": doc["name"], "cat": doc["cat"], "count": 0,
+                 "total_ns": 0, "self_ns": 0},
+            )
+            wall = doc["t1"] - doc["t0"]
+            agg["count"] += 1
+            agg["total_ns"] += wall
+            agg["self_ns"] += wall - children
+    ranked = sorted(
+        totals.values(), key=lambda a: (-a["total_ns"], a["name"])
+    )
+    return ranked[:n]
+
+
+def format_top_spans(tracks: list[dict], n: int = 10) -> str:
+    from repro.util.tables import format_table
+
+    rows = [
+        [
+            agg["name"],
+            agg["cat"],
+            agg["count"],
+            _fmt_ms(agg["total_ns"]),
+            _fmt_ms(agg["self_ns"]),
+            _fmt_ms(agg["total_ns"] // max(agg["count"], 1)),
+        ]
+        for agg in top_spans(tracks, n)
+    ]
+    return format_table(
+        ["span", "cat", "count", "total", "self", "avg"],
+        rows,
+        title=f"Top {len(rows)} spans by total wall time",
+    )
+
+
+def format_metrics(registry, prefix: str = "") -> str:
+    """Deterministic table dump of a :class:`MetricsRegistry`."""
+    from repro.util.tables import format_table
+
+    rows = []
+    for name, metric in registry.items(prefix):
+        snap = metric.snapshot()
+        if snap["type"] == "histogram":
+            value = (
+                f"count={snap['count']} total={snap['total']} "
+                f"mean={metric.mean:.1f}"
+            )
+        elif isinstance(snap["value"], float):
+            value = f"{snap['value']:.4f}"
+        else:
+            value = str(snap["value"])
+        rows.append([name, snap["type"], value])
+    return format_table(
+        ["metric", "type", "value"], rows, title="Metrics registry"
+    )
+
+
+def write_export(path, tracks: list[dict], clock: str = "logical"):
+    """Write a timeline to ``path``: ``.jsonl`` → JSONL, else Chrome JSON.
+
+    The Chrome form is validated before writing; a schema violation raises
+    ``ValueError`` (exports are CI artifacts — a malformed one must fail
+    loudly, not upload quietly).
+    """
+    import pathlib
+
+    out = pathlib.Path(path)
+    if out.suffix == ".jsonl":
+        out.write_text(to_jsonl(tracks))
+        return out
+    doc = to_chrome(tracks, clock=clock)
+    errors = validate_chrome(doc)
+    if errors:
+        raise ValueError(
+            "refusing to write invalid trace: " + "; ".join(errors[:5])
+        )
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return out
