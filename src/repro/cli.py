@@ -549,6 +549,79 @@ def _cmd_farm(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        lanes=args.lanes,
+        queue_depth=args.queue_depth,
+        quota_bytes=(
+            int(args.quota_mb * 1e6) if args.quota_mb is not None else None
+        ),
+        cache_dir=args.cache_dir,
+        verbose_events=args.verbose_events,
+    )
+    server = ReproServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve listening on http://{config.host}:{server.port} "
+            f"({config.lanes} lane(s), queue depth {config.queue_depth}, "
+            f"cache {server.store.root})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted")
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.serve import check_loadtest, run_loadtest
+
+    doc = run_loadtest(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        unique=args.unique,
+        kind=args.kind,
+        workload=args.workload,
+        frames=args.frames,
+        lanes=args.lanes,
+        queue_depth=args.queue_depth,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        out=args.out,
+    )
+    print(
+        f"{doc['requests']} requests from {doc['clients']} clients: "
+        f"{doc['errors']} error(s), {doc['dropped']} dropped, "
+        f"cache hit rate {doc['cache']['hit_rate']}, "
+        f"{doc['backpressure_429s']} backpressure 429(s)"
+    )
+    for name, wave in doc["waves"].items():
+        latency = wave["latency_s"]
+        print(
+            f"  {name}: p50 {latency['p50']}s p99 {latency['p99']}s "
+            f"throughput {wave['throughput_rps']} req/s "
+            f"fairness spread {wave['fairness']['spread']}"
+        )
+    if "path" in doc:
+        print(f"wrote {doc['path']}")
+    problems = check_loadtest(doc)
+    for problem in problems:
+        print(f"LOADTEST FAIL: {problem}")
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -740,6 +813,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     p.set_defaults(func=_cmd_farm)
+
+    p = sub.add_parser(
+        "serve",
+        help="characterization service: HTTP + WebSocket over the farm",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642, help="0 = ephemeral")
+    p.add_argument(
+        "--lanes", type=int, default=2, help="concurrent execution lanes"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="per-client queue bound before 429 backpressure",
+    )
+    p.add_argument(
+        "--quota-mb",
+        type=float,
+        default=None,
+        help="artifact cache quota in MB (LRU eviction; default unlimited)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.add_argument(
+        "--verbose-events",
+        action="store_true",
+        help="stream draw/stage-level spans too (default: coarse progress)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive the serve layer with concurrent clients "
+        "(BENCH_serve.json)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=200, help="concurrent client threads"
+    )
+    p.add_argument(
+        "--requests", type=int, default=3, help="requests per client"
+    )
+    p.add_argument(
+        "--unique",
+        type=int,
+        default=6,
+        help="distinct specs in the request pool (the rest dedupe)",
+    )
+    p.add_argument(
+        "--kind", choices=["sim", "api", "geometry"], default="api"
+    )
+    p.add_argument("--workload", default="UT2004/Primeval")
+    p.add_argument("--frames", type=int, default=1)
+    p.add_argument(
+        "--lanes", type=int, default=2, help="lanes for the in-process server"
+    )
+    p.add_argument("--queue-depth", type=int, default=8)
+    p.add_argument(
+        "--host",
+        default=None,
+        help="target a running server instead of booting one in-process",
+    )
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--out", default="BENCH_serve.json")
+    p.set_defaults(func=_cmd_loadtest)
     return parser
 
 

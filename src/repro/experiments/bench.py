@@ -67,30 +67,62 @@ def _run_pipeline(
     }
 
 
-def _run_observed(name: str, frames: int, repeats: int = 1) -> dict:
-    """Time the QuadStream path with the span tracer attached.
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
-    Same min-of-N protocol as :func:`_run_pipeline`; each repeat gets a
-    fresh tracer (``env=False`` keeps the flag out of the environment so
-    nothing beyond this process starts tracing).  The span count is
-    recorded so the overhead number can be read per event.
+
+def _run_observed(name: str, frames: int, repeats: int = 1) -> dict:
+    """Measure observer overhead: interleaved traced/untraced run pairs.
+
+    The old protocol compared a min-of-N traced run against a min-of-N
+    untraced run timed *earlier in the process* — on a noisy host the
+    later measurement often won on warmth alone and the "overhead" came
+    out negative.  Here every repeat times an untraced run and a traced
+    run back to back (``env=False`` keeps the tracing flag out of the
+    environment so nothing beyond this process starts tracing), at least
+    three pairs, and the overhead is the ratio of the two *medians* — the
+    like-with-like comparison the ``--max-observer-overhead`` gate needs.
+    The reported ``overhead_pct`` is clamped at zero (an instrument cannot
+    speed the pipeline up; a negative ratio is noise), with the raw value
+    kept alongside for trend reading.
     """
     workload = build_workload(name, sim=False)
     config = dataclasses.replace(GpuConfig.r520(), vectorized=True)
-    seconds = float("inf")
+    untraced: list[float] = []
+    traced: list[float] = []
     spans = 0
-    for _ in range(max(1, repeats)):
+    for _ in range(max(3, repeats)):
+        sim = workload.simulator(config)
+        trace = workload.trace(frames=frames)
+        start = time.perf_counter()
+        sim.run_trace(trace, max_frames=frames)
+        untraced.append(time.perf_counter() - start)
+
         sim = workload.simulator(config)
         trace = workload.trace(frames=frames)
         tracer = obs_spans.enable(track="bench", env=False)
         try:
             start = time.perf_counter()
             sim.run_trace(trace, max_frames=frames)
-            seconds = min(seconds, time.perf_counter() - start)
+            traced.append(time.perf_counter() - start)
         finally:
             obs_spans.disable()
         spans = len(tracer.spans)
-    return {"seconds": round(seconds, 3), "spans": spans}
+    median_traced = _median(traced)
+    median_untraced = _median(untraced)
+    raw = 100.0 * (median_traced / median_untraced - 1.0)
+    return {
+        "seconds": round(median_traced, 3),
+        "untraced_seconds": round(median_untraced, 3),
+        "pairs": len(traced),
+        "spans": spans,
+        "overhead_pct": round(max(0.0, raw), 1),
+        "overhead_pct_raw": round(raw, 1),
+    }
 
 
 def _measure_farm(specs: list, width: int) -> dict:
@@ -169,11 +201,7 @@ def bench_pipeline(
             ),
         },
     }
-    observed = _run_observed(workload, frames=frames, repeats=repeats)
-    observed["overhead_pct"] = round(
-        100.0 * (observed["seconds"] / quadstream["seconds"] - 1.0), 1
-    )
-    doc["observer"] = observed
+    doc["observer"] = _run_observed(workload, frames=frames, repeats=repeats)
     if include_farm:
         doc["farm"] = _run_farm(farm_frames, jobs)
     return doc

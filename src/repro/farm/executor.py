@@ -14,8 +14,11 @@ Execution policy, in order:
    :mod:`repro.farm.checkpoint`), and ``tests/test_merge.py`` checks the
    equality on every engine.
 3. **Warm parallel execution** — execution units run on a persistent
-   ``ProcessPoolExecutor`` (``--jobs N``, default ``os.cpu_count()``) that
-   lives for the whole :class:`Farm`, spanning retry rounds *and*
+   ``ProcessPoolExecutor`` (``--jobs N``, default ``os.cpu_count()``; the
+   effective worker and shard width is capped at ``os.cpu_count()`` unless
+   ``oversubscribe=True``, so a small box never runs slower in parallel
+   than serial) that lives for the whole :class:`Farm`, spanning retry
+   rounds *and*
    consecutive :meth:`Farm.run` calls; it is torn down only when broken by
    a worker death / kill (or by :meth:`Farm.close`).  Workers precompile
    the native kernels at init and keep generated traces in an in-process
@@ -30,9 +33,13 @@ Execution policy, in order:
    by the number of queue waves so a unit waiting behind slow siblings is
    never killed spuriously) has its workers killed and its unfinished
    units requeued; exceptions *raised* by a unit are requeued the same way
-   (they may be transient).  Requeue rounds are separated by exponential
-   backoff with deterministic jitter.  After ``retries`` failed attempts a
-   unit falls back to serial in-parent execution.
+   (they may be transient).  Only units that actually *started* (their
+   worker touched a start beacon) are charged an attempt — a unit still
+   queued when a sibling broke the pool is requeued for free, so narrow
+   pools never starve queued jobs of real tries.  Requeue rounds are
+   separated by exponential backoff with deterministic jitter.  After
+   ``retries`` failed attempts a unit falls back to serial in-parent
+   execution.
 6. **Serial fallback** — if the pool cannot be created at all (restricted
    environments), or ``jobs=1``, everything runs in-process.
 7. **Failure accounting** — a job that still fails after the serial
@@ -56,6 +63,8 @@ import dataclasses
 import hashlib
 import math
 import os
+import shutil
+import tempfile
 import time
 import weakref
 from concurrent.futures import (
@@ -208,7 +217,11 @@ def run_job(
 
 
 def _pool_entry(
-    worker: Callable, job: JobSpec, cache_dir: str | None, checkpoint_every: int
+    worker: Callable,
+    job: JobSpec,
+    cache_dir: str | None,
+    checkpoint_every: int,
+    started_beacon: str | None = None,
 ):
     """Pool-side wrapper: run the worker, strip stored results for transport.
 
@@ -216,7 +229,17 @@ def _pool_entry(
     plus scalars) crosses the process boundary; the parent reloads —
     memory-mapping rendered frames — from the store.  Custom workers and
     unsaved results (no cache dir, unwritable volume) pass through whole.
+
+    The *started_beacon* file is touched before the worker runs: if this
+    unit later comes back :class:`BrokenProcessPool`, the parent uses the
+    beacon to tell the crash victim (it ran — charge a retry attempt) from
+    units that were still queued behind it (collateral — requeue free).
     """
+    if started_beacon is not None:
+        try:
+            open(started_beacon, "w").close()
+        except OSError:
+            pass  # parent falls back to charging the attempt
     outcome = worker(job, cache_dir, checkpoint_every)
     if (
         worker is run_job
@@ -261,9 +284,21 @@ class Farm:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         shard_frames: int | None = None,
+        oversubscribe: bool = False,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        #: Worker/shard width actually used: ``--jobs`` capped by the
+        #: machine's core count.  On a 1-core box, ``--jobs 4`` used to
+        #: *lose* to serial (4 processes competing for 1 core, plus 4-way
+        #: shard merges) — capped, the pool runs one worker and shards are
+        #: never planned wider than the hardware.  ``oversubscribe=True``
+        #: restores the uncapped width (shard-planning tests, experiments).
+        self.width = (
+            self.jobs
+            if oversubscribe
+            else max(1, min(self.jobs, os.cpu_count() or 1))
+        )
         self.use_cache = use_cache
         self.retries = max(1, int(retries))
         self.timeout = timeout
@@ -279,6 +314,7 @@ class Farm:
         self.last_report = FailureReport()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
+        self._beacon_dir: str | None = None
 
     @property
     def cache_dir(self) -> str | None:
@@ -306,7 +342,7 @@ class Farm:
             pass
         try:
             pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, max(1, units)),
+                max_workers=min(self.width, max(1, units)),
                 initializer=_worker_init,
             )
         except (OSError, ValueError):  # no multiprocessing available
@@ -351,12 +387,14 @@ class Farm:
         idle.  A saturated batch is left unsharded: slicing it would only
         add merge work.
         """
-        if worker is not run_job or self.jobs <= 1 or self.shard_frames == 0:
+        if worker is not run_job or self.shard_frames == 0:
             return {job: (job,) for job in pending}
         if self.shard_frames:
+            # An explicit pin wins over the width cap: exports pinned for
+            # determinism must plan identically on any host.
             pieces = self.shard_frames
-        elif len(pending) < self.jobs:
-            pieces = math.ceil(self.jobs / len(pending))
+        elif self.width > 1 and len(pending) < self.width:
+            pieces = math.ceil(self.width / len(pending))
         else:
             pieces = 1
         return {job: job.shard(pieces) for job in pending}
@@ -641,6 +679,7 @@ class Farm:
             if pool is None:  # no multiprocessing available
                 fallback.extend(round_jobs)
                 break
+            beacons = self._clear_beacons(round_jobs)
             futures: dict = {}
             try:
                 for job in round_jobs:
@@ -651,6 +690,7 @@ class Farm:
                             job,
                             self.cache_dir,
                             self.checkpoint_every,
+                            beacons.get(job),
                         )
                     ] = job
             except (BrokenProcessPool, RuntimeError):
@@ -659,7 +699,13 @@ class Farm:
                 for job in round_jobs:
                     if job not in submitted:
                         self._note(causes, job, "pool rejected submission")
-                        self._requeue(job, attempts, remaining, fallback)
+                        self._requeue(
+                            job,
+                            attempts,
+                            remaining,
+                            fallback,
+                            count=self._unit_started(job),
+                        )
             if futures:
                 self._collect_round(
                     pool, futures, attempts, results, remaining, fallback, causes
@@ -708,13 +754,23 @@ class Farm:
                 self._discard_pool()
                 for future in pending:
                     job = futures[future]
-                    self._note(
-                        causes,
-                        job,
-                        f"hung (round deadline of {self.timeout:g}s/job "
-                        "exceeded); workers killed",
-                    )
-                    self._requeue(job, attempts, remaining, fallback)
+                    if self._unit_started(job):
+                        self._note(
+                            causes,
+                            job,
+                            f"hung (round deadline of {self.timeout:g}s/job "
+                            "exceeded); workers killed",
+                        )
+                        self._requeue(job, attempts, remaining, fallback)
+                    else:
+                        self._note(
+                            causes,
+                            job,
+                            "queued behind a hung sibling; requeued unchanged",
+                        )
+                        self._requeue(
+                            job, attempts, remaining, fallback, count=False
+                        )
                 return
             for future in done:
                 job = futures[future]
@@ -722,8 +778,26 @@ class Farm:
                     outcome = future.result()
                 except (BrokenProcessPool, CancelledError):
                     self._discard_pool()
-                    self._note(causes, job, "worker process died (pool broken)")
-                    self._requeue(job, attempts, remaining, fallback)
+                    if self._unit_started(job):
+                        self._note(
+                            causes, job, "worker process died (pool broken)"
+                        )
+                        self._requeue(job, attempts, remaining, fallback)
+                    else:
+                        # The unit never reached a worker — a sibling broke
+                        # the pool while it sat in the queue.  Requeue it
+                        # without spending one of its attempts, else a
+                        # 1-worker pool starves queued jobs of real tries
+                        # and feeds them untested to the in-parent fallback.
+                        self._note(
+                            causes,
+                            job,
+                            "pool broke before the unit started; "
+                            "requeued unchanged",
+                        )
+                        self._requeue(
+                            job, attempts, remaining, fallback, count=False
+                        )
                 except KeyboardInterrupt:
                     self._kill_workers(pool)
                     self._discard_pool()
@@ -792,6 +866,46 @@ class Farm:
                 "stored artifact unreadable at harvest (quarantined)"
             )
         return dataclasses.replace(outcome, result=loaded, stored=False), None
+
+    # -- start beacons ---------------------------------------------------
+    def _clear_beacons(
+        self, round_jobs: list[JobSpec]
+    ) -> dict[JobSpec, str | None]:
+        """Fresh per-unit beacon paths for one pool round.
+
+        Workers touch their beacon just before running the unit
+        (:func:`_pool_entry`); after a broken round the parent reads them
+        to separate the crash victim from units that never started.  Stale
+        beacons from earlier rounds are removed here so a unit is never
+        judged by a previous round's run.  Returns ``{job: None}`` when no
+        scratch directory can be made — attempt accounting then degrades
+        to charging every unit, the pre-beacon behaviour.
+        """
+        if self._beacon_dir is None:
+            try:
+                self._beacon_dir = tempfile.mkdtemp(prefix="repro-farm-")
+            except OSError:
+                return dict.fromkeys(round_jobs)
+            weakref.finalize(
+                self, shutil.rmtree, self._beacon_dir, ignore_errors=True
+            )
+        beacons: dict[JobSpec, str | None] = {}
+        for job in round_jobs:
+            path = os.path.join(self._beacon_dir, f"{job.key()}.started")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            beacons[job] = path
+        return beacons
+
+    def _unit_started(self, job: JobSpec) -> bool:
+        """Did this unit's worker begin executing in the current round?"""
+        if self._beacon_dir is None:
+            return True  # beacons unavailable; assume it ran
+        return os.path.exists(
+            os.path.join(self._beacon_dir, f"{job.key()}.started")
+        )
 
     def _requeue(
         self,

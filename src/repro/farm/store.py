@@ -32,6 +32,11 @@ passed through :func:`repro.farm.invariants.validate_result`.  Anything
 that fails is moved into ``quarantine/`` (with the reason logged) and
 reported as a miss — corruption is preserved as evidence and recomputed
 around, never silently reused and never silently deleted.
+
+Capacity is managed by :meth:`ArtifactStore.enforce_quota`: artifact
+families are evicted least-recently-used first (recency = meta mtime,
+refreshed on every load hit) until the cache fits a byte budget, skipping
+pinned keys and never touching ``quarantine/``.
 """
 
 from __future__ import annotations
@@ -238,7 +243,15 @@ class ArtifactStore:
                 self.misses += 1
                 return None
         self.hits += 1
+        self._touch(job)
         return result
+
+    def _touch(self, job: JobSpec) -> None:
+        """Refresh the family's recency (LRU order keys off the meta mtime)."""
+        try:
+            os.utime(self.meta_path(job))
+        except OSError:
+            pass
 
     def _attach_images(self, job: JobSpec, result: Any, images_meta: dict):
         """Reattach the ``.npy`` frame sidecar as memory-mapped views.
@@ -543,6 +556,73 @@ class ArtifactStore:
 
     def total_bytes(self) -> int:
         return sum(m["bytes"] for m in self.entries())
+
+    # -- quota / LRU eviction -------------------------------------------
+    def families(self) -> list[dict]:
+        """Every artifact family, least-recently-used first.
+
+        A *family* is one job key's files (``.pkl`` + ``.json`` meta +
+        optional ``.npy`` frames and ``.spans.jsonl`` sidecar).  Recency is
+        the meta file's mtime: written at save time and refreshed by
+        :meth:`_touch` on every successful load, so sorting by it is LRU
+        order.  Quarantined files are not families — they are evidence,
+        never candidates for reuse *or* eviction.
+        """
+        if not self.artifact_dir.is_dir():
+            return []
+        families = []
+        for meta_path in self.artifact_dir.glob("*.json"):
+            key = meta_path.stem
+            paths = [
+                meta_path,
+                meta_path.with_suffix(".pkl"),
+                meta_path.with_suffix(".npy"),
+                self.artifact_dir / f"{key}.spans.jsonl",
+            ]
+            present = [p for p in paths if p.exists()]
+            try:
+                used = meta_path.stat().st_mtime
+            except OSError:
+                continue
+            families.append(
+                {
+                    "key": key,
+                    "paths": present,
+                    "bytes": sum(p.stat().st_size for p in present),
+                    "last_used": used,
+                }
+            )
+        families.sort(key=lambda f: (f["last_used"], f["key"]))
+        return families
+
+    def enforce_quota(
+        self, max_bytes: int, pinned: frozenset | set | tuple = ()
+    ) -> list[str]:
+        """Evict least-recently-used artifact families down to ``max_bytes``.
+
+        Families whose key is in ``pinned`` (e.g. jobs a serve instance
+        still has queued, running, or published) are never evicted, and the
+        quarantine directory is never touched — a quarantined family stays
+        quarantined.  Eviction *deletes* (it is reclaiming space from valid
+        artifacts, not preserving evidence).  Returns the evicted keys.
+        """
+        pinned = set(pinned)
+        families = self.families()
+        total = sum(f["bytes"] for f in families)
+        evicted: list[str] = []
+        for family in families:
+            if total <= max_bytes:
+                break
+            if family["key"] in pinned:
+                continue
+            for path in family["paths"]:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= family["bytes"]
+            evicted.append(family["key"])
+        return evicted
 
     def clear(self) -> int:
         """Delete every artifact, checkpoint, and quarantined file."""

@@ -59,6 +59,22 @@ class Cache:
         # must still account each dropped reference as a hit.
         self.accesses = 0
 
+    def __getstate__(self) -> dict:
+        # The kernel scratch buffers are workspace, not state: their unused
+        # tails hold garbage from earlier (larger) streams, so pickling
+        # them makes artifact bytes nondeterministic run to run.  Content
+        # addressing (and the serve layer's bit-identity contract) needs
+        # the pickle to be a pure function of the simulation.
+        state = dict(self.__dict__)
+        state["_miss_buf"] = None
+        state["_evict_buf"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._miss_buf = np.empty(0, dtype=np.int64)
+        self._evict_buf = np.empty(0, dtype=np.int64)
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

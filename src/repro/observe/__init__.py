@@ -44,12 +44,15 @@ from repro.observe.spans import (
     NOOP,
     Tracer,
     UnitScope,
+    arm_env,
     current,
     disable,
     enable,
     enabled,
     env_enabled,
     span,
+    subscribe,
+    unsubscribe,
 )
 
 __all__ = [
@@ -58,6 +61,7 @@ __all__ = [
     "Tracer",
     "UnitScope",
     "absorb_job",
+    "arm_env",
     "ascii_timeline",
     "current",
     "disable",
@@ -71,9 +75,11 @@ __all__ = [
     "registry",
     "span",
     "spans",
+    "subscribe",
     "to_chrome",
     "to_jsonl",
     "top_spans",
+    "unsubscribe",
     "validate_chrome",
     "write_export",
 ]

@@ -24,11 +24,24 @@ tracer whose buffer is serialized into an artifact sidecar
 sidecars at harvest into per-unit *tracks* of one coherent timeline.  The
 same scope run in-parent (serial path) just opens a normal span, so serial
 and parallel runs produce one merged timeline either way.
+
+The installed tracer is **per thread** (a ``threading.local`` slot): the
+serving layer (:mod:`repro.serve`) runs several execution lanes as threads
+of one process, and each lane's :class:`UnitScope` must buffer only its own
+unit's spans.  Single-threaded callers see the exact old semantics —
+``enable()`` installs, ``span()`` finds, ``disable()`` removes.
+
+Live progress taps in through :func:`subscribe`: while at least one
+subscriber is registered, every span start/end on any thread's tracer is
+published as a small event document (name, category, track, sequence
+number, thread id).  With no subscribers the publish path is a single
+empty-list check, so the farm and pipeline pay nothing for it.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 #: Environment flag that tells forked/spawned farm workers to trace.
@@ -132,6 +145,8 @@ class Tracer:
         span.index = len(self.spans)
         self.spans.append(span)
         self._stack.append(span)
+        if _SUBSCRIBERS:
+            _publish("start", self, span, span.s0)
         return span
 
     def close(self, span: Span) -> None:
@@ -141,6 +156,8 @@ class Tracer:
             self._stack.pop()
         elif span in self._stack:  # tolerate out-of-order exits
             self._stack.remove(span)
+        if _SUBSCRIBERS:
+            _publish("end", self, span, span.s1)
 
     # -- serialization / merge -------------------------------------------
     def payload(self, metrics: dict | None = None) -> dict:
@@ -179,15 +196,60 @@ class Tracer:
 
 
 # -- module-level tracer --------------------------------------------------
-_TRACER: Tracer | None = None
+#: Per-thread tracer slot.  Each thread installs and finds its own tracer,
+#: so concurrent serve lanes (threads) buffer disjoint span tracks; a
+#: single-threaded process behaves exactly as a plain module global would.
+_SLOT = threading.local()
+
+# -- live event subscription ----------------------------------------------
+#: Callbacks receiving every span start/end while registered (any thread).
+_SUBSCRIBERS: list = []
+
+
+def subscribe(callback) -> None:
+    """Register ``callback(event: dict)`` for live span start/end events.
+
+    Events carry ``phase`` ("start"/"end"), ``name``, ``cat``, ``track``,
+    ``seq`` (the tracer's logical clock at the edge), ``pid`` and ``tid``
+    (the publishing thread, so a multiplexing consumer can attribute events
+    to the unit of work it scheduled on that thread).  Callbacks run inline
+    on the instrumented thread and must be fast and non-raising; exceptions
+    are swallowed so observability can never fail the measurement.
+    """
+    if callback not in _SUBSCRIBERS:
+        _SUBSCRIBERS.append(callback)
+
+
+def unsubscribe(callback) -> None:
+    try:
+        _SUBSCRIBERS.remove(callback)
+    except ValueError:
+        pass
+
+
+def _publish(phase: str, tracer: "Tracer", span: Span, seq: int) -> None:
+    event = {
+        "phase": phase,
+        "name": span.name,
+        "cat": span.cat,
+        "track": tracer.track,
+        "seq": seq,
+        "pid": tracer.pid,
+        "tid": threading.get_ident(),
+    }
+    for callback in list(_SUBSCRIBERS):
+        try:
+            callback(event)
+        except Exception:
+            pass
 
 
 def current() -> Tracer | None:
-    return _TRACER
+    return getattr(_SLOT, "tracer", None)
 
 
 def enabled() -> bool:
-    return _TRACER is not None
+    return getattr(_SLOT, "tracer", None) is not None
 
 
 def env_enabled() -> bool:
@@ -195,23 +257,31 @@ def env_enabled() -> bool:
     return os.environ.get(ENV_FLAG, "") not in ("", "0")
 
 
+def arm_env() -> None:
+    """Set :data:`ENV_FLAG` without installing a tracer here.
+
+    Farm workers (and serve lane threads) that see the flag give each
+    execution unit a fresh tracer via :class:`UnitScope`; the arming
+    process/thread itself stays untraced.
+    """
+    os.environ[ENV_FLAG] = "1"
+
+
 def enable(track: str = "main", env: bool = True) -> Tracer:
-    """Install a fresh process-wide tracer and return it.
+    """Install a fresh tracer on this thread and return it.
 
     ``env=True`` also sets :data:`ENV_FLAG` so farm pool workers (which
     inherit the environment) trace their units into sidecars.
     """
-    global _TRACER
-    _TRACER = Tracer(track)
+    _SLOT.tracer = Tracer(track)
     if env:
         os.environ[ENV_FLAG] = "1"
-    return _TRACER
+    return _SLOT.tracer
 
 
 def disable() -> None:
-    """Remove the tracer (and the worker flag); ``span()`` goes no-op."""
-    global _TRACER
-    _TRACER = None
+    """Remove this thread's tracer (and the worker flag); ``span()`` goes no-op."""
+    _SLOT.tracer = None
     os.environ.pop(ENV_FLAG, None)
 
 
@@ -226,7 +296,7 @@ def span(name: str, cat: str = "span"):
             if s:
                 s.set("mesh", draw.mesh)
     """
-    tracer = _TRACER
+    tracer = getattr(_SLOT, "tracer", None)
     if tracer is None:
         return NOOP
     return tracer.start(name, cat)
@@ -245,15 +315,16 @@ class UnitScope:
     """
 
     def __init__(self, label: str):
-        global _TRACER
         self.fresh = False
+        installed = getattr(_SLOT, "tracer", None)
         # A tracer from another pid is the parent's, inherited across a
         # fork — stale here.  Replace it with a per-unit tracer.
-        stale = _TRACER is not None and _TRACER.pid != os.getpid()
-        if (_TRACER is None or stale) and env_enabled():
-            _TRACER = Tracer(track=label)
+        stale = installed is not None and installed.pid != os.getpid()
+        if (installed is None or stale) and env_enabled():
+            installed = Tracer(track=label)
+            _SLOT.tracer = installed
             self.fresh = True
-        self._tracer = _TRACER
+        self._tracer = installed
         self._root = (
             self._tracer.start(f"job:{label}", cat="farm")
             if self._tracer is not None
@@ -262,11 +333,10 @@ class UnitScope:
 
     def finish(self, metrics: dict | None = None) -> dict | None:
         """Close the scope; return the sidecar payload for fresh units."""
-        global _TRACER
         if self._root is not None:
             self._tracer.close(self._root)
         if not self.fresh:
             return None
         payload = self._tracer.payload(metrics)
-        _TRACER = None
+        _SLOT.tracer = None
         return payload

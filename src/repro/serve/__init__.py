@@ -1,0 +1,44 @@
+"""repro.serve — characterization-as-a-service over the execution farm.
+
+A stdlib-only HTTP + WebSocket service: clients POST a workload spec, a
+machine configuration, and a frame budget; the server hashes the request
+into the same content-addressed :class:`~repro.farm.job.JobSpec` key the
+CLI uses (so duplicate submissions dedupe into cache hits), runs it on the
+farm with per-client fair scheduling and bounded-queue backpressure, and
+streams live progress — fed by :mod:`repro.observe` span events — over a
+WebSocket.  Results and raw artifacts are served from the shared
+:class:`~repro.farm.store.ArtifactStore`, bit-identical to a direct run.
+"""
+
+from repro.serve.client import Backpressure, ServeClient, ServeError
+from repro.serve.loadtest import check_loadtest, run_loadtest
+from repro.serve.protocol import (
+    MAX_FRAMES,
+    VERSION,
+    ProtocolError,
+    decode_submission,
+)
+from repro.serve.scheduler import FairScheduler, JobEntry, QueueFull
+from repro.serve.server import (
+    ReproServer,
+    ServeConfig,
+    ServerThread,
+)
+
+__all__ = [
+    "Backpressure",
+    "ServeClient",
+    "ServeError",
+    "check_loadtest",
+    "run_loadtest",
+    "MAX_FRAMES",
+    "VERSION",
+    "ProtocolError",
+    "decode_submission",
+    "FairScheduler",
+    "JobEntry",
+    "QueueFull",
+    "ReproServer",
+    "ServeConfig",
+    "ServerThread",
+]

@@ -1,0 +1,257 @@
+"""A blocking, stdlib-only client for the characterization service.
+
+This is the reference consumer of the wire protocol: plain
+:mod:`http.client` for the REST surface and a raw socket speaking just
+enough RFC 6455 for the one-directional progress stream the server sends.
+It exists so scripts, tests, and the load-test harness can drive a server
+without an event loop of their own — and so the protocol stays honest
+(anything the client can't express over two stdlib modules is too clever
+for the service).
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+import struct
+import time
+from typing import Iterator
+
+
+class _BufferedSocket:
+    """Socket reads with a carry-over buffer.
+
+    The WebSocket handshake response and the first data frames can arrive
+    in one TCP segment; whatever ``recv`` returns past the handshake must
+    be kept and fed to the frame parser, not dropped.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = b""
+
+    def read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("socket closed during handshake")
+            self._buffer += chunk
+        head, _sep, rest = self._buffer.partition(marker)
+        self._buffer = rest
+        return head
+
+    def read_exact(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(max(4096, count - len(self._buffer)))
+            if not chunk:
+                raise ConnectionError("socket closed mid-frame")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response; carries the status and decoded body."""
+
+    def __init__(self, status: int, doc):
+        message = doc.get("error") if isinstance(doc, dict) else str(doc)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.doc = doc
+
+
+class Backpressure(ServeError):
+    """HTTP 429 — the per-client queue is full; carries the retry hint."""
+
+    def __init__(self, status: int, doc, retry_after: float):
+        super().__init__(status, doc)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One tenant's view of a running service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        client_id: str = "anon",
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {"X-Repro-Client": self.client_id}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.getheader("Content-Type", "").startswith(
+                "application/json"
+            ):
+                doc = json.loads(raw) if raw else None
+            else:
+                doc = raw
+            if response.status == 429:
+                retry_after = float(response.getheader("Retry-After", "1"))
+                raise Backpressure(response.status, doc, retry_after)
+            if response.status >= 400:
+                raise ServeError(response.status, doc)
+            return response.status, response.headers, doc
+        finally:
+            conn.close()
+
+    # -- REST surface ----------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")[2]
+
+    def workloads(self) -> list[str]:
+        return self._request("GET", "/v1/workloads")[2]["workloads"]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")[2]
+
+    def submit(
+        self,
+        kind: str,
+        workload: str,
+        frames: int,
+        seed: int | None = None,
+        config: dict | None = None,
+    ) -> dict:
+        """Submit one job; returns its status document (job key in ``job``)."""
+        body: dict = {
+            "client": self.client_id,
+            "kind": kind,
+            "workload": workload,
+            "frames": frames,
+        }
+        if seed is not None:
+            body["seed"] = seed
+        if config is not None:
+            body["config"] = config
+        return self._request("POST", "/v1/jobs", body)[2]
+
+    def submit_retrying(self, *args, max_wait: float = 120.0, **kwargs) -> dict:
+        """Like :meth:`submit`, but waits out 429 backpressure."""
+        deadline = time.monotonic() + max_wait
+        while True:
+            try:
+                return self.submit(*args, **kwargs)
+            except Backpressure as exc:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(exc.retry_after, 2.0, max(0.05, deadline - time.monotonic())))
+
+    def status(self, job: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job}")[2]
+
+    def result(self, job: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job}/result")[2]
+
+    def artifact(self, job: str) -> tuple[bytes, str]:
+        """The raw result artifact and its server-side SHA-256."""
+        _status, headers, blob = self._request(
+            "GET", f"/v1/jobs/{job}/artifact"
+        )
+        return blob, headers.get("X-Repro-SHA256", "")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")[2]
+
+    def wait(self, job: str, timeout: float = 300.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final status doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job} still {doc['state']!r}")
+            time.sleep(poll)
+
+    # -- WebSocket progress stream ---------------------------------------
+    def events(self, job: str, timeout: float = 300.0) -> Iterator[dict]:
+        """Yield the job's progress events (buffered replay, then live).
+
+        The stream ends when the server sends its CLOSE frame after the
+        job reaches a terminal state.
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout
+        )
+        try:
+            key = base64.b64encode(os.urandom(16)).decode()
+            sock.sendall(
+                (
+                    f"GET /v1/jobs/{job}/events HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n"
+                ).encode("latin-1")
+            )
+            stream = _BufferedSocket(sock)
+            head = stream.read_until(b"\r\n\r\n")
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in status_line:
+                raise ServeError(
+                    int(status_line.split(" ")[1]),
+                    {"error": f"websocket upgrade refused: {status_line}"},
+                )
+            while True:
+                opcode, payload = self._read_frame(stream)
+                if opcode == 0x8:  # CLOSE
+                    return
+                if opcode == 0x1 and payload:
+                    yield json.loads(payload)
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _read_frame(stream: "_BufferedSocket") -> tuple[int, bytes]:
+        first, second = stream.read_exact(2)
+        opcode = first & 0x0F
+        length = second & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", stream.read_exact(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", stream.read_exact(8))
+        # Server frames are unmasked (RFC 6455 §5.1).
+        return opcode, stream.read_exact(length)
+
+    # -- convenience -----------------------------------------------------
+    def run(
+        self,
+        kind: str,
+        workload: str,
+        frames: int,
+        seed: int | None = None,
+        config: dict | None = None,
+        timeout: float = 300.0,
+    ) -> dict:
+        """Submit (riding out backpressure), wait, and return the result."""
+        doc = self.submit_retrying(
+            kind, workload, frames, seed=seed, config=config, max_wait=timeout
+        )
+        final = self.wait(doc["job"], timeout=timeout)
+        if final["state"] != "done":
+            raise ServeError(
+                500, {"error": final.get("error") or f"job {final['state']}"}
+            )
+        return self.result(doc["job"])

@@ -1,0 +1,282 @@
+"""Load-test harness for the characterization service.
+
+Boots a server (in-process, unless pointed at a running one), unleashes a
+fleet of concurrent tenants against a small pool of distinct specs, and
+writes ``BENCH_serve.json`` with the service-level numbers the roadmap
+tracks: request latency percentiles, sustained throughput, cache-hit rate,
+and scheduling fairness (the spread between the fastest and slowest
+tenant's total completion time).
+
+The traffic shape is deliberately duplicate-heavy — many tenants asking
+for the same few characterizations is exactly the thundering-herd shape
+content-addressed dedupe exists for.  The run has two waves:
+
+* **cold** — every spec is computed once on the farm; every duplicate
+  request attaches to the in-flight or finished entry (dedupe hits);
+* **warm** — the job registry is reset (simulating a server restart over a
+  persistent ``.repro-cache/``) and the same specs are resubmitted, so the
+  farm serves them straight from the artifact store (true cache hits).
+
+Every request must come back ``done`` with a well-formed result document;
+any error, timeout, or wrong state counts against ``errors`` and fails a
+strict run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import tempfile
+import threading
+import time
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ReproServer, ServeConfig, ServerThread
+
+#: Terminal states a request may legitimately observe.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _client_run(
+    index: int,
+    host: str,
+    port: int,
+    pool: list[dict],
+    requests_per_client: int,
+    barrier: threading.Barrier,
+    records: list,
+    lock: threading.Lock,
+    timeout: float,
+) -> None:
+    """One tenant: submit, follow progress over WS, verify the result."""
+    client_id = f"load-{index:04d}"
+    client = ServeClient(host, port, client_id=client_id, timeout=timeout)
+    barrier.wait()
+    t_first = time.perf_counter()
+    for request_index in range(requests_per_client):
+        spec = pool[(index + request_index) % len(pool)]
+        started = time.perf_counter()
+        error = None
+        state = None
+        try:
+            doc = client.submit_retrying(max_wait=timeout, **spec)
+            job = doc["job"]
+            if doc["state"] not in _TERMINAL:
+                for _event in client.events(job, timeout=timeout):
+                    pass  # the stream closes when the job is terminal
+            final = client.wait(job, timeout=timeout)
+            state = final["state"]
+            if state == "done":
+                result = client.result(job)
+                if not isinstance(result.get("summary"), dict):
+                    error = "malformed result document"
+            else:
+                error = final.get("error") or f"job ended {state!r}"
+        except (ServeError, OSError, TimeoutError) as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        with lock:
+            records.append(
+                {
+                    "client": client_id,
+                    "latency_s": time.perf_counter() - started,
+                    "state": state,
+                    "error": error,
+                }
+            )
+    with lock:
+        records.append(
+            {
+                "client": client_id,
+                "total_s": time.perf_counter() - t_first,
+            }
+        )
+
+
+def _wave(
+    host: str,
+    port: int,
+    clients: int,
+    requests_per_client: int,
+    pool: list[dict],
+    timeout: float,
+) -> dict:
+    """Run one concurrent wave; returns its latency/fairness digest."""
+    records: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+    threads = [
+        threading.Thread(
+            target=_client_run,
+            args=(
+                index,
+                host,
+                port,
+                pool,
+                requests_per_client,
+                barrier,
+                records,
+                lock,
+                timeout,
+            ),
+            daemon=True,
+        )
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout + 60)
+    wall = time.perf_counter() - start
+    requests = [r for r in records if "latency_s" in r]
+    totals = [r["total_s"] for r in records if "total_s" in r]
+    latencies = [r["latency_s"] for r in requests]
+    errors = [r for r in requests if r["error"] is not None]
+    expected = clients * requests_per_client
+    dropped = expected - len(requests)
+    fairness = {
+        "max_client_s": round(max(totals), 4) if totals else None,
+        "min_client_s": round(min(totals), 4) if totals else None,
+        "spread": (
+            round(max(totals) / max(min(totals), 1e-9), 2) if totals else None
+        ),
+    }
+    return {
+        "requests": len(requests),
+        "dropped": dropped,
+        "errors": len(errors),
+        "error_samples": [e["error"] for e in errors[:5]],
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(len(requests) / wall, 2) if wall else None,
+        "latency_s": {
+            "p50": round(_percentile(latencies, 0.50), 4),
+            "p99": round(_percentile(latencies, 0.99), 4),
+            "max": round(max(latencies), 4) if latencies else 0.0,
+        },
+        "fairness": fairness,
+    }
+
+
+def run_loadtest(
+    clients: int = 200,
+    requests_per_client: int = 3,
+    unique: int = 6,
+    kind: str = "api",
+    workload: str = "UT2004/Primeval",
+    frames: int = 1,
+    lanes: int = 2,
+    queue_depth: int = 8,
+    timeout: float = 600.0,
+    host: str | None = None,
+    port: int | None = None,
+    worker=None,
+    out: str | pathlib.Path | None = "BENCH_serve.json",
+) -> dict:
+    """Drive the service and return (and optionally write) the bench doc.
+
+    With ``host``/``port`` unset, a private server is booted in-process on
+    an ephemeral port against a temporary cache directory, and the run
+    includes the warm (registry-reset) wave.  Against an external server
+    only the cold wave runs.  ``worker`` injects a farm worker override
+    into the in-process server (tests use stubs; the default measures the
+    real pipeline).
+    """
+    pool = [
+        {"kind": kind, "workload": workload, "frames": frames, "seed": index}
+        for index in range(max(1, unique))
+    ]
+    owned: ServerThread | None = None
+    tmp: tempfile.TemporaryDirectory | None = None
+    if host is None or port is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-load-")
+        owned = ServerThread(
+            ReproServer(
+                ServeConfig(
+                    port=0,
+                    lanes=lanes,
+                    queue_depth=queue_depth,
+                    cache_dir=tmp.name,
+                ),
+                worker=worker,
+            )
+        ).start()
+        host, port = owned.host, owned.port
+    try:
+        waves = {
+            "cold": _wave(
+                host, port, clients, requests_per_client, pool, timeout
+            )
+        }
+        if owned is not None:
+            # Reset the registry on the loop thread: wave two replays the
+            # same specs against the persistent store — pure cache hits.
+            owned.reset_registry()
+            waves["warm"] = _wave(
+                host, port, clients, requests_per_client, pool, timeout
+            )
+        stats = ServeClient(host, port, client_id="loadtest").stats()
+        if owned is not None:
+            owned.stop()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    total_requests = sum(w["requests"] for w in waves.values())
+    fresh_runs = stats["completed"] - stats["cache_hits"]
+    doc = {
+        "benchmark": "serve",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "unique_specs": len(pool),
+        "kind": kind,
+        "workload": workload,
+        "frames": frames,
+        "lanes": lanes,
+        "queue_depth": queue_depth,
+        "requests": total_requests,
+        "dropped": sum(w["dropped"] for w in waves.values()),
+        "errors": sum(w["errors"] for w in waves.values()),
+        "waves": waves,
+        "cache": {
+            "dedup_hits": stats["dedup_hits"],
+            "cache_hits": stats["cache_hits"],
+            "fresh_runs": fresh_runs,
+            "hit_rate": (
+                round(1.0 - fresh_runs / total_requests, 4)
+                if total_requests
+                else None
+            ),
+        },
+        "backpressure_429s": stats["rejected_backpressure"],
+        "server_stats": stats,
+    }
+    if out is not None:
+        path = pathlib.Path(out)
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        doc["path"] = str(path)
+    return doc
+
+
+def check_loadtest(doc: dict) -> list[str]:
+    """Acceptance problems with a load-test document (empty = pass)."""
+    problems = []
+    if doc["dropped"]:
+        problems.append(f"{doc['dropped']} request(s) dropped")
+    if doc["errors"]:
+        samples = "; ".join(
+            s
+            for wave in doc["waves"].values()
+            for s in wave["error_samples"]
+        )
+        problems.append(f"{doc['errors']} request error(s): {samples}")
+    if doc["cache"]["hit_rate"] is not None and doc["cache"]["hit_rate"] <= 0:
+        problems.append("no duplicate request was served from cache/dedupe")
+    return problems

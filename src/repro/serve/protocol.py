@@ -1,0 +1,154 @@
+"""Wire schemas for the characterization service.
+
+The service speaks plain JSON over HTTP.  This module is the boundary
+between untrusted request documents and the typed core: it turns a
+submission body into a validated :class:`~repro.farm.job.JobSpec` (the
+content-addressed identity the whole system keys on), renders job entries
+and results back into JSON documents, and nothing else — no sockets, no
+scheduling.
+
+A submission looks like::
+
+    {
+      "client": "alice",               # tenant id (or X-Repro-Client header)
+      "kind": "sim",                   # "api" | "sim" | "geometry"
+      "workload": "UT2004/Primeval",   # a registered Table-I workload
+      "frames": 2,                     # frame budget, 1..MAX_FRAMES
+      "seed": 7,                       # optional seed override
+      "config": {"width": 320, "height": 240, "hierarchical_z": false}
+    }
+
+``config`` accepts the scalar/boolean :class:`~repro.gpu.config.GpuConfig`
+fields (resolution, rates, feature toggles); cache geometries stay at the
+workload's defaults.  Unknown keys are rejected rather than ignored so a
+typo can never silently measure the wrong machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any
+
+from repro.farm.job import KINDS, JobSpec
+from repro.gpu.config import GpuConfig
+
+#: Protocol version, reported by ``GET /v1/healthz``.
+VERSION = 1
+
+#: Upper bound on a served frame budget: the service is interactive, and a
+#: runaway budget would pin an execution lane for hours.
+MAX_FRAMES = 64
+
+#: Tenant ids: short, printable, no whitespace (they key queues and logs).
+_CLIENT_RE = re.compile(r"^[A-Za-z0-9._:-]{1,64}$")
+
+#: GpuConfig fields a submission may override: every scalar/bool field.
+CONFIG_FIELDS = {
+    field.name: field.type
+    for field in dataclasses.fields(GpuConfig)
+    if field.type in ("int", "bool")
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request; carries the HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _require(doc: dict, key: str, kind, what: str):
+    value = doc.get(key)
+    if not isinstance(value, kind) or isinstance(value, bool) and kind is int:
+        raise ProtocolError(f"{key!r} must be {what}")
+    return value
+
+
+def decode_client(doc: dict, header: str | None = None) -> str:
+    """The tenant id: body ``client`` field, else header, else ``anon``."""
+    client = doc.get("client") or header or "anon"
+    if not isinstance(client, str) or not _CLIENT_RE.match(client):
+        raise ProtocolError(
+            "'client' must be 1-64 characters of [A-Za-z0-9._:-]"
+        )
+    return client
+
+
+def decode_config(doc: Any) -> GpuConfig:
+    """A :class:`GpuConfig` from a JSON override document."""
+    if not isinstance(doc, dict):
+        raise ProtocolError("'config' must be an object")
+    unknown = sorted(set(doc) - set(CONFIG_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            f"unknown config field(s): {', '.join(unknown)} "
+            f"(overridable: {', '.join(sorted(CONFIG_FIELDS))})"
+        )
+    kwargs = {}
+    for name, value in doc.items():
+        want_bool = CONFIG_FIELDS[name] == "bool"
+        if want_bool and not isinstance(value, bool):
+            raise ProtocolError(f"config field {name!r} must be a boolean")
+        if not want_bool and (not isinstance(value, int) or isinstance(value, bool)):
+            raise ProtocolError(f"config field {name!r} must be an integer")
+        kwargs[name] = value
+    try:
+        return dataclasses.replace(GpuConfig(), **kwargs)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid config: {exc}") from exc
+
+
+def decode_submission(doc: Any) -> JobSpec:
+    """Validate a submission body into the :class:`JobSpec` it identifies."""
+    if not isinstance(doc, dict):
+        raise ProtocolError("request body must be a JSON object")
+    kind = _require(doc, "kind", str, "one of " + "/".join(KINDS))
+    if kind not in KINDS:
+        raise ProtocolError(f"unknown kind {kind!r} (want {'/'.join(KINDS)})")
+    workload = _require(doc, "workload", str, "a registered workload name")
+    from repro.workloads.registry import workload as lookup
+
+    try:
+        lookup(workload)
+    except KeyError:
+        raise ProtocolError(f"unknown workload {workload!r}", status=404)
+    frames = _require(doc, "frames", int, "an integer frame budget")
+    if not 1 <= frames <= MAX_FRAMES:
+        raise ProtocolError(f"'frames' must be in [1, {MAX_FRAMES}]")
+    seed = doc.get("seed")
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        raise ProtocolError("'seed' must be an integer")
+    config = doc.get("config")
+    spec_config = decode_config(config) if config is not None else None
+    try:
+        return JobSpec(kind, workload, frames, seed=seed, config=spec_config)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+# -- response documents ----------------------------------------------------
+def summarize_result(spec: JobSpec, result: Any) -> dict:
+    """A compact, JSON-safe digest of a finished measurement."""
+    doc: dict = {"kind": spec.kind, "workload": spec.workload}
+    stats = getattr(result, "stats", None)
+    if stats is not None and hasattr(result, "frame_stats"):  # simulation
+        doc.update(
+            frames=stats.frames,
+            triangles_traversed=stats.triangles_traversed,
+            fragments_rasterized=stats.fragments_rasterized,
+            fragments_shaded=stats.fragments_shaded,
+            vertex_cache_hit_rate=round(stats.vertex_cache_hit_rate, 6),
+            memory_bytes=int(result.memory.total_bytes),
+        )
+    elif hasattr(result, "frame_count"):  # API statistics
+        doc.update(
+            frames=result.frame_count,
+            batches=result.total_batches,
+            avg_indices_per_batch=round(result.avg_indices_per_batch, 3),
+            avg_state_calls_per_frame=round(result.avg_state_calls_per_frame, 3),
+        )
+    else:  # custom worker payloads (tests)
+        doc["repr"] = repr(result)[:200]
+    return doc

@@ -1,0 +1,176 @@
+"""Multi-tenant job scheduling: per-client FIFO queues, round-robin drain.
+
+The serving layer's fairness model is deliberately simple and exact:
+
+* every tenant (client id) gets one FIFO queue with a bounded depth —
+  a client that outruns the farm gets **backpressure** (HTTP 429 with a
+  ``Retry-After`` hint) instead of unbounded memory growth or the power to
+  starve everyone else;
+* execution lanes pull from the queues **round-robin across clients**: the
+  next job comes from the next non-empty queue after the one served last,
+  so a tenant with 50 queued jobs and a tenant with 1 alternate instead of
+  the 50 running first (within a tenant, order stays FIFO);
+* submissions are **content-addressed**: a spec that hashes to a job key
+  already queued, running, or finished attaches to the existing
+  :class:`JobEntry` instead of enqueueing a duplicate — the dedupe that
+  turns a thundering herd of identical requests into one farm run and many
+  cache hits.
+
+Everything here runs on the asyncio event-loop thread; the scheduler is a
+plain data structure with no locks of its own.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.farm.job import JobSpec
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States in which an entry's artifact must never be evicted.
+ACTIVE_STATES = (QUEUED, RUNNING)
+#: States an entry can be resubmitted from (a fresh attempt makes sense).
+RETRYABLE_STATES = (FAILED, CANCELLED)
+
+
+class QueueFull(Exception):
+    """The client's queue is at depth; carries the backpressure hint."""
+
+    def __init__(self, client: str, depth: int, retry_after: float):
+        super().__init__(
+            f"client {client!r} has {depth} job(s) queued (limit reached)"
+        )
+        self.client = client
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+@dataclass
+class JobEntry:
+    """One content-addressed job and everything the service knows about it."""
+
+    spec: JobSpec
+    key: str
+    client: str  # first submitter (owns the queue slot)
+    state: str = QUEUED
+    clients: set[str] = field(default_factory=set)
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    from_cache: bool = False
+    dedup_hits: int = 0
+    error: str | None = None
+    summary: dict | None = None
+    #: Buffered progress events (seq-ordered); WS subscribers replay these
+    #: then follow the live feed.
+    events: list[dict] = field(default_factory=list)
+    #: asyncio.Queue per live WebSocket subscriber.
+    subscribers: list[Any] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED, CANCELLED)
+
+    def doc(self) -> dict:
+        """The job's public status document."""
+        return {
+            "job": self.key,
+            "state": self.state,
+            "kind": self.spec.kind,
+            "workload": self.spec.workload,
+            "frames": self.spec.frames,
+            "client": self.client,
+            "clients": sorted(self.clients),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "from_cache": self.from_cache,
+            "dedup_hits": self.dedup_hits,
+            "events": len(self.events),
+            "error": self.error,
+        }
+
+
+class FairScheduler:
+    """Bounded per-client FIFO queues drained round-robin."""
+
+    def __init__(self, max_depth: int = 8):
+        self.max_depth = max(1, int(max_depth))
+        self._queues: dict[str, deque[JobEntry]] = {}
+        #: Round-robin ring: client order of first appearance; rotation
+        #: state is the index after the last client served.
+        self._ring: list[str] = []
+        self._next = 0
+        #: Smoothed job seconds, feeding the Retry-After hint.
+        self.avg_job_s = 1.0
+
+    # -- accounting ------------------------------------------------------
+    def depth(self, client: str) -> int:
+        return len(self._queues.get(client, ()))
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> dict[str, int]:
+        return {c: len(q) for c, q in self._queues.items() if q}
+
+    def note_job_seconds(self, seconds: float) -> None:
+        """Exponentially smoothed job duration (the Retry-After estimate)."""
+        self.avg_job_s = 0.7 * self.avg_job_s + 0.3 * max(0.05, seconds)
+
+    def retry_after(self, client: str) -> float:
+        """Seconds until this client's queue has likely drained one slot."""
+        return max(1.0, round(self.depth(client) * self.avg_job_s, 1))
+
+    # -- queue operations ------------------------------------------------
+    def submit(self, entry: JobEntry) -> None:
+        """Enqueue for the entry's owning client; raises :class:`QueueFull`."""
+        client = entry.client
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+            self._ring.append(client)
+        if len(queue) >= self.max_depth:
+            raise QueueFull(client, len(queue), self.retry_after(client))
+        queue.append(entry)
+
+    def next_entry(self) -> JobEntry | None:
+        """Dequeue round-robin: the next non-empty queue after the last served."""
+        if not self._ring:
+            return None
+        for offset in range(len(self._ring)):
+            index = (self._next + offset) % len(self._ring)
+            queue = self._queues[self._ring[index]]
+            if queue:
+                self._next = (index + 1) % len(self._ring)
+                return queue.popleft()
+        return None
+
+    def remove(self, entry: JobEntry) -> bool:
+        """Drop a queued entry (cancellation); True if it was queued."""
+        queue = self._queues.get(entry.client)
+        if queue is None:
+            return False
+        try:
+            queue.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+    def drain(self) -> list[JobEntry]:
+        """Empty every queue (shutdown); returns the entries in queue order."""
+        drained: list[JobEntry] = []
+        for client in self._ring:
+            queue = self._queues[client]
+            while queue:
+                drained.append(queue.popleft())
+        return drained

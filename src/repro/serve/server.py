@@ -1,0 +1,575 @@
+"""The characterization service: HTTP + WebSocket front-end over the farm.
+
+Architecture (one process, three kinds of execution context):
+
+* the **asyncio event loop** owns all service state — the
+  :class:`~repro.serve.scheduler.FairScheduler`, the job registry, every
+  WebSocket subscriber queue.  Connection handlers and lane coordinators
+  are tasks on this loop; nothing else mutates service state directly.
+* **execution lanes** are threads (one per lane) that run the actual
+  measurement through a serial :class:`~repro.farm.executor.Farm`
+  (``jobs=1`` — the simulation executes in the lane thread itself).  Lanes
+  report back to the loop via ``call_soon_threadsafe``.
+* **observe** feeds live progress: the server arms the tracing environment
+  flag, so every lane's job runs under a per-unit tracer
+  (:class:`~repro.observe.spans.UnitScope` — per *thread* since this PR),
+  and subscribes to span start/end events.  Events carry the publishing
+  thread id; the server maps thread → running job and forwards the
+  coarse-grained spans (farm lifecycle, ``gpu.run``, ``gpu.frame``) to
+  that job's WebSocket subscribers, in sequence order.
+
+Identity is content-addressed end to end: a submission is hashed into a
+:meth:`~repro.farm.job.JobSpec.key`, duplicates attach to the existing
+entry, and finished artifacts live in the same
+:class:`~repro.farm.store.ArtifactStore` the CLI uses — serving the very
+bytes a direct ``repro`` run of the same spec would produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import observe
+from repro.farm.executor import Farm, FarmError
+from repro.farm.store import ArtifactStore
+from repro.serve import httpd
+from repro.serve.protocol import (
+    VERSION,
+    ProtocolError,
+    decode_client,
+    decode_submission,
+    summarize_result,
+)
+from repro.serve.scheduler import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    RETRYABLE_STATES,
+    RUNNING,
+    FairScheduler,
+    JobEntry,
+    QueueFull,
+)
+
+#: Span names forwarded to WebSocket subscribers by default.  Draw- and
+#: stage-level spans fire thousands of times per frame — progress wants the
+#: coarse pulse, the full firehose stays available via ``verbose_events``.
+COARSE_SPANS = ("gpu.run", "gpu.frame")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    lanes: int = 2
+    queue_depth: int = 8
+    #: Cache quota in bytes (None = unlimited).  Enforced LRU after every
+    #: completed job, pinning every key the registry still references.
+    quota_bytes: int | None = None
+    cache_dir: str | None = None
+    #: Forward every span event (draw/stage level included) over WS.
+    verbose_events: bool = False
+
+
+class ReproServer:
+    """One characterization service instance (create, ``await start()``)."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        store: ArtifactStore | None = None,
+        worker=None,
+    ):
+        self.config = config or ServeConfig()
+        self.store = store if store is not None else ArtifactStore(
+            self.config.cache_dir
+        )
+        #: Optional farm worker override (tests inject stubs; ``None`` uses
+        #: the standard cached/checkpointed :func:`repro.farm.run_job`).
+        self.worker = worker
+        self.scheduler = FairScheduler(self.config.queue_depth)
+        self.entries: dict[str, JobEntry] = {}
+        self.draining = False
+        self.started_at = time.time()
+        self.stats = {
+            "submissions": 0,
+            "dedup_hits": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected_backpressure": 0,
+            "cache_hits": 0,
+            "evicted": 0,
+            "ws_connections": 0,
+        }
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.Server | None = None
+        self._lane_tasks: list[asyncio.Task] = []
+        self._lane_wakeup = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._running: dict[int, JobEntry] = {}  # thread id -> entry
+        self._seq = 0
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        observe.arm_env()  # lane jobs trace themselves via UnitScope
+        observe.subscribe(self._on_span_event)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        for index in range(max(1, self.config.lanes)):
+            self._lane_tasks.append(
+                asyncio.create_task(self._lane(index), name=f"lane-{index}")
+            )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        try:
+            await self._drained.wait()
+        finally:
+            await self._finish_shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, cancel queued, finish running."""
+        if self.draining:
+            return
+        self.draining = True
+        for entry in self.scheduler.drain():
+            entry.state = CANCELLED
+            entry.finished_at = time.time()
+            self.stats["cancelled"] += 1
+            self._push_event(entry, {"event": "cancelled"})
+            self._finish_streams(entry)
+        self._lane_wakeup.set()
+        # Lanes exit once no queued work remains and draining is set; each
+        # finishes its in-flight job first.
+        if self._lane_tasks:
+            await asyncio.gather(*self._lane_tasks, return_exceptions=True)
+        self._drained.set()
+
+    async def _finish_shutdown(self) -> None:
+        observe.unsubscribe(self._on_span_event)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- execution lanes -------------------------------------------------
+    async def _lane(self, index: int) -> None:
+        """One lane: pull fairly, execute in a thread, publish the outcome."""
+        farm = Farm(store=self.store, jobs=1, checkpoint_every=0)
+        while True:
+            entry = self.scheduler.next_entry()
+            if entry is None:
+                if self.draining:
+                    return
+                self._lane_wakeup.clear()
+                await self._lane_wakeup.wait()
+                continue
+            entry.state = RUNNING
+            entry.started_at = time.time()
+            self._push_event(entry, {"event": "started", "lane": index})
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._execute, farm, entry
+            )
+            self._complete(entry)
+
+    def _execute(self, farm: Farm, entry: JobEntry) -> None:
+        """Lane-thread body: run the job through the farm, record outcome."""
+        tid = threading.get_ident()
+        self._running[tid] = entry
+        entry.from_cache = self.store.contains(entry.spec)
+        try:
+            if self.worker is None:
+                result = farm.run_one(entry.spec)
+            else:
+                result = farm.run_one(entry.spec, worker=self.worker)
+            entry.summary = summarize_result(entry.spec, result)
+            entry.state = DONE
+        except FarmError as exc:
+            entry.state = FAILED
+            entry.error = str(exc)
+        except Exception as exc:  # never let a lane die
+            entry.state = FAILED
+            entry.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._running.pop(tid, None)
+
+    def _complete(self, entry: JobEntry) -> None:
+        """Loop-side completion: stats, quota, event fan-out."""
+        entry.finished_at = time.time()
+        wall = entry.finished_at - (entry.started_at or entry.finished_at)
+        self.scheduler.note_job_seconds(wall)
+        if entry.state == DONE:
+            self.stats["completed"] += 1
+            if entry.from_cache:
+                self.stats["cache_hits"] += 1
+        else:
+            self.stats["failed"] += 1
+        self._push_event(
+            entry,
+            {
+                "event": entry.state,
+                "from_cache": entry.from_cache,
+                "wall_s": round(wall, 4),
+                "error": entry.error,
+            },
+        )
+        self._finish_streams(entry)
+        self._enforce_quota()
+
+    def _enforce_quota(self) -> None:
+        if self.config.quota_bytes is None:
+            return
+        pinned = {
+            key
+            for key, entry in self.entries.items()
+            if entry.state in ACTIVE_STATES or entry.state == DONE
+        }
+        evicted = self.store.enforce_quota(self.config.quota_bytes, pinned)
+        self.stats["evicted"] += len(evicted)
+
+    # -- progress events -------------------------------------------------
+    def _on_span_event(self, event: dict) -> None:
+        """observe subscriber: runs on the lane thread, hops to the loop."""
+        entry = self._running.get(event.get("tid"))
+        if entry is None or self._loop is None:
+            return
+        if not self.config.verbose_events:
+            name = event["name"]
+            if event["cat"] != "farm" and name not in COARSE_SPANS:
+                return
+        doc = {
+            "event": "span",
+            "phase": event["phase"],
+            "name": event["name"],
+            "cat": event["cat"],
+            "span_seq": event["seq"],
+        }
+        try:
+            self._loop.call_soon_threadsafe(self._push_event, entry, doc)
+        except RuntimeError:
+            pass  # loop already closed during shutdown
+
+    def _push_event(self, entry: JobEntry, doc: dict) -> None:
+        """Append to the entry's buffer and wake its WS subscribers."""
+        self._seq += 1
+        doc = {"seq": self._seq, "job": entry.key, "ts": time.time(), **doc}
+        entry.events.append(doc)
+        for queue in entry.subscribers:
+            queue.put_nowait(doc)
+
+    def _finish_streams(self, entry: JobEntry) -> None:
+        for queue in entry.subscribers:
+            queue.put_nowait(None)  # terminal marker
+
+    # -- connection handling ---------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await httpd.read_request(reader)
+            except httpd.BadRequest as exc:
+                writer.write(httpd.json_response(400, {"error": str(exc)}))
+                return
+            if request is None:
+                return
+            if request.wants_websocket:
+                await self._handle_websocket(request, reader, writer)
+                return
+            writer.write(await self._route(request))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # surface handler bugs to the client
+            try:
+                writer.write(
+                    httpd.json_response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+
+    async def _route(self, request: httpd.Request) -> bytes:
+        segments = [s for s in request.path.split("/") if s]
+        if segments[:1] != ["v1"]:
+            return httpd.json_response(404, {"error": "unknown path"})
+        tail = segments[1:]
+        if request.method == "GET":
+            if tail == ["healthz"]:
+                return httpd.json_response(
+                    200,
+                    {
+                        "ok": True,
+                        "version": VERSION,
+                        "draining": self.draining,
+                        "uptime_s": round(time.time() - self.started_at, 3),
+                    },
+                )
+            if tail == ["workloads"]:
+                from repro.workloads import all_workloads
+
+                return httpd.json_response(
+                    200,
+                    {"workloads": [spec.name for spec in all_workloads()]},
+                )
+            if tail == ["stats"]:
+                return httpd.json_response(200, self._stats_doc())
+            if len(tail) == 2 and tail[0] == "jobs":
+                return self._job_status(tail[1])
+            if len(tail) == 3 and tail[0] == "jobs" and tail[2] == "result":
+                return self._job_result(tail[1])
+            if len(tail) == 3 and tail[0] == "jobs" and tail[2] == "artifact":
+                return self._job_artifact(tail[1])
+            return httpd.json_response(404, {"error": "unknown path"})
+        if request.method == "POST":
+            if tail == ["jobs"]:
+                return self._submit(request)
+            if tail == ["shutdown"]:
+                asyncio.get_running_loop().create_task(self.shutdown())
+                return httpd.json_response(202, {"draining": True})
+            return httpd.json_response(404, {"error": "unknown path"})
+        return httpd.json_response(405, {"error": "method not allowed"})
+
+    # -- route bodies ----------------------------------------------------
+    def _submit(self, request: httpd.Request) -> bytes:
+        try:
+            doc = request.json()
+            spec = decode_submission(doc)
+            client = decode_client(doc, request.headers.get("x-repro-client"))
+        except (ProtocolError, httpd.BadRequest) as exc:
+            status = getattr(exc, "status", 400)
+            return httpd.json_response(status, {"error": str(exc)})
+        self.stats["submissions"] += 1
+        key = spec.key()
+        entry = self.entries.get(key)
+        if entry is not None and entry.state not in RETRYABLE_STATES:
+            # Content-addressed dedupe: same spec → same entry.
+            entry.dedup_hits += 1
+            entry.clients.add(client)
+            self.stats["dedup_hits"] += 1
+            return httpd.json_response(200, entry.doc())
+        if self.draining:
+            return httpd.json_response(
+                503, {"error": "server is draining", "draining": True}
+            )
+        entry = JobEntry(spec=spec, key=key, client=client, clients={client})
+        try:
+            self.scheduler.submit(entry)
+        except QueueFull as exc:
+            self.stats["rejected_backpressure"] += 1
+            return httpd.json_response(
+                429,
+                {
+                    "error": str(exc),
+                    "retry_after_s": exc.retry_after,
+                },
+                headers={"Retry-After": str(int(max(1, exc.retry_after)))},
+            )
+        self.entries[key] = entry
+        self._push_event(
+            entry, {"event": "queued", "position": self.scheduler.pending()}
+        )
+        self._lane_wakeup.set()
+        return httpd.json_response(202, entry.doc())
+
+    def _job_status(self, key: str) -> bytes:
+        entry = self.entries.get(key)
+        if entry is None:
+            return httpd.json_response(404, {"error": f"unknown job {key!r}"})
+        return httpd.json_response(200, entry.doc())
+
+    def _job_result(self, key: str) -> bytes:
+        entry = self.entries.get(key)
+        if entry is None:
+            return httpd.json_response(404, {"error": f"unknown job {key!r}"})
+        if entry.state != DONE:
+            return httpd.json_response(
+                409, {"error": f"job is {entry.state}", "state": entry.state}
+            )
+        meta = self.store._read_meta(entry.spec)
+        return httpd.json_response(
+            200,
+            {
+                "job": key,
+                "from_cache": entry.from_cache,
+                "summary": entry.summary,
+                "artifact_sha256": meta.get("sha256"),
+                "wall_s": meta.get("wall_s"),
+            },
+        )
+
+    def _job_artifact(self, key: str) -> bytes:
+        entry = self.entries.get(key)
+        if entry is None:
+            return httpd.json_response(404, {"error": f"unknown job {key!r}"})
+        if entry.state != DONE:
+            return httpd.json_response(
+                409, {"error": f"job is {entry.state}", "state": entry.state}
+            )
+        path = self.store.artifact_path(entry.spec)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return httpd.json_response(
+                404, {"error": "artifact evicted or missing"}
+            )
+        meta = self.store._read_meta(entry.spec)
+        return httpd.response(
+            200,
+            blob,
+            content_type="application/octet-stream",
+            headers={"X-Repro-SHA256": meta.get("sha256") or ""},
+        )
+
+    def _stats_doc(self) -> dict:
+        states: dict[str, int] = {}
+        for entry in self.entries.values():
+            states[entry.state] = states.get(entry.state, 0) + 1
+        return {
+            **self.stats,
+            "jobs": len(self.entries),
+            "states": states,
+            "queue_depths": self.scheduler.depths(),
+            "pending": self.scheduler.pending(),
+            "store_hits": self.store.hits,
+            "store_misses": self.store.misses,
+            "avg_job_s": round(self.scheduler.avg_job_s, 3),
+            "draining": self.draining,
+        }
+
+    # -- WebSocket progress streaming ------------------------------------
+    async def _handle_websocket(self, request, reader, writer) -> None:
+        segments = [s for s in request.path.split("/") if s]
+        if (
+            len(segments) != 4
+            or segments[:2] != ["v1", "jobs"]
+            or segments[3] != "events"
+        ):
+            writer.write(httpd.json_response(404, {"error": "unknown path"}))
+            return
+        entry = self.entries.get(segments[2])
+        if entry is None:
+            writer.write(
+                httpd.json_response(404, {"error": "unknown job"})
+            )
+            return
+        writer.write(httpd.ws_handshake_response(request))
+        await writer.drain()
+        self.stats["ws_connections"] += 1
+        # Snapshot + subscribe atomically (no awaits between): replay the
+        # buffer, then the live queue — exactly-once, in seq order.
+        queue: asyncio.Queue = asyncio.Queue()
+        backlog = list(entry.events)
+        terminal = entry.terminal
+        if not terminal:
+            entry.subscribers.append(queue)
+        try:
+            for doc in backlog:
+                writer.write(httpd.ws_encode(json.dumps(doc, sort_keys=True)))
+            await writer.drain()
+            if not terminal:
+                while True:
+                    doc = await queue.get()
+                    if doc is None:
+                        break
+                    writer.write(
+                        httpd.ws_encode(json.dumps(doc, sort_keys=True))
+                    )
+                    await writer.drain()
+            writer.write(httpd.ws_encode(b"", opcode=httpd.WS_CLOSE))
+            await writer.drain()
+        finally:
+            if queue in entry.subscribers:
+                entry.subscribers.remove(queue)
+
+
+# -- thread-hosted server (tests, loadtest) --------------------------------
+class ServerThread:
+    """Run a :class:`ReproServer` on a dedicated event-loop thread.
+
+    The blocking client (:mod:`repro.serve.client`) and the load-test
+    harness need a live server without owning an event loop; this wrapper
+    boots one in the background and exposes ``host``/``port``/``stop()``.
+    """
+
+    def __init__(self, server: ReproServer):
+        self.server = server
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def reset_registry(self) -> None:
+        """Forget finished jobs (loop-side), keeping the artifact store.
+
+        The load-test harness uses this between waves to model a server
+        restart over a persistent cache: the same submissions then re-run
+        through the farm and hit the store instead of deduping in memory.
+        """
+        if self._loop is None:
+            return
+        done = threading.Event()
+
+        def _clear() -> None:
+            self.server.entries = {
+                key: entry
+                for key, entry in self.server.entries.items()
+                if not entry.terminal
+            }
+            done.set()
+
+        self._loop.call_soon_threadsafe(_clear)
+        done.wait(timeout=10)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful drain from any thread; joins the loop thread."""
+        if self._loop is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            )
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass
+        self._thread.join(timeout=timeout)

@@ -208,14 +208,27 @@ def test_shard_degenerate_cases():
 
 
 def test_plan_auto_shards_underloaded_batch(tmp_path):
-    farm = Farm(store=ArtifactStore(tmp_path), jobs=4)
+    # oversubscribe=True tests the planning math independent of host cores
+    farm = Farm(store=ArtifactStore(tmp_path), jobs=4, oversubscribe=True)
     job = sim_job(WORKLOAD, 4)
     plan = farm._plan_units([job], run_job)
     assert len(plan[job]) == 4
 
 
+def test_plan_width_capped_by_cpu_count(tmp_path, monkeypatch):
+    monkeypatch.setattr("repro.farm.executor.os.cpu_count", lambda: 1)
+    farm = Farm(store=ArtifactStore(tmp_path), jobs=4)
+    assert farm.width == 1
+    job = sim_job(WORKLOAD, 4)
+    # A 1-core box never pays shard-merge overhead for parallelism it
+    # cannot have; oversubscribe=True restores the requested width.
+    assert farm._plan_units([job], run_job) == {job: (job,)}
+    wide = Farm(store=ArtifactStore(tmp_path), jobs=4, oversubscribe=True)
+    assert wide.width == 4
+
+
 def test_plan_keeps_full_batches_whole(tmp_path):
-    farm = Farm(store=ArtifactStore(tmp_path), jobs=2)
+    farm = Farm(store=ArtifactStore(tmp_path), jobs=2, oversubscribe=True)
     jobs = [sim_job(WORKLOAD, 4), sim_job(OTHER, 4)]
     plan = farm._plan_units(jobs, run_job)
     assert all(plan[job] == (job,) for job in jobs)
@@ -223,9 +236,19 @@ def test_plan_keeps_full_batches_whole(tmp_path):
 
 def test_plan_respects_shard_overrides(tmp_path):
     job = sim_job(WORKLOAD, 4)
-    off = Farm(store=ArtifactStore(tmp_path / "off"), jobs=4, shard_frames=0)
+    off = Farm(
+        store=ArtifactStore(tmp_path / "off"),
+        jobs=4,
+        shard_frames=0,
+        oversubscribe=True,
+    )
     assert off._plan_units([job], run_job) == {job: (job,)}
-    fixed = Farm(store=ArtifactStore(tmp_path / "k"), jobs=2, shard_frames=4)
+    fixed = Farm(
+        store=ArtifactStore(tmp_path / "k"),
+        jobs=2,
+        shard_frames=4,
+        oversubscribe=True,
+    )
     assert len(fixed._plan_units([job], run_job)[job]) == 4
 
 
