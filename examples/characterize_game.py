@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.experiments import ExperimentConfig, Runner, paper
 from repro.geometry.primitives import PrimitiveType
 from repro.gpu.stats import MemClient, QuadFate
@@ -24,19 +25,17 @@ def main() -> None:
     parser.add_argument("name", nargs="?", default="Doom3/trdemo2")
     parser.add_argument("--api-frames", type=int, default=120)
     parser.add_argument("--sim-frames", type=int, default=6)
-    args = parser.parse_args()
-
-    runner = Runner(
-        ExperimentConfig(
-            api_frames=args.api_frames,
-            sim_frames=args.sim_frames,
-            geometry_frames=max(20, args.sim_frames * 5),
-        )
+    parser.add_argument(
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        help="force full re-simulation instead of draw-level reuse",
     )
+    args = parser.parse_args()
     name = args.name
 
     print(f"=== API-level characterization: {name} ===")
-    api = runner.api(name)
+    api = repro.api_stats(name, frames=args.api_frames)
     share = api.primitive_share
     rows = [
         ["batches/frame", f"{api.total_batches / api.frame_count:.0f}"],
@@ -60,9 +59,19 @@ def main() -> None:
         return
 
     print(f"\n=== Microarchitectural characterization: {name} ===")
-    result = runner.sim(name)
+    result = repro.characterize(
+        name, frames=args.sim_frames, incremental=args.incremental
+    )
     stats = result.stats
-    geometry = runner.geometry(name)
+    # Geometry-only replays have no facade shortcut; drive a runner with an
+    # explicit frame budget for the clip/cull/traverse pass.
+    geometry = Runner(
+        ExperimentConfig(
+            api_frames=args.api_frames,
+            sim_frames=args.sim_frames,
+            geometry_frames=max(20, args.sim_frames * 5),
+        )
+    ).geometry(name)
     clip, cull, traverse = geometry.stats.clip_cull_traverse_percent
     fates = stats.quad_fate_percent
     mem = result.memory

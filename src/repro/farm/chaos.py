@@ -4,7 +4,8 @@ Runs every fault class the injector knows (worker crash, hang, transient
 exception, artifact corruption, checkpoint truncation, ``ENOSPC``,
 read-only cache, native-compile failure, a strict/graceful-degradation
 check, plus frame-shard recovery: a worker dying mid-shard and a shard
-artifact corrupted between worker save and parent harvest) against real
+artifact corrupted between worker save and parent harvest, plus draw-cache
+staleness and truncation under incremental replay) against real
 farm batches, and asserts that the recovered results are **bit-identical**
 to a fault-free reference run — the same equality the tier-1 suite demands
 of parallel-vs-serial execution.  Corruption scenarios additionally assert
@@ -278,6 +279,86 @@ def _corrupted_shard_artifact(ctx: _Context) -> str:
     return "corrupt shard artifact quarantined; recomputed slice merged clean"
 
 
+def _stale_drawcache(ctx: _Context) -> str:
+    """A draw-cache record goes stale (its recorded bound-state keys no
+    longer match the stream); the per-draw key mismatch must invalidate the
+    record and re-simulate the frame, never reuse it."""
+    import hashlib
+    import json
+    import pickle
+
+    job = sim_job(WORKLOAD, 2)
+    farm = ctx.farm("stale-drawcache", jobs=1, shard_frames=0, incremental=True)
+    first = farm.run([job])
+    _check_match(ctx.reference, first, [job])
+    store = farm.store
+    records = sorted(store.drawcache_dir.glob("*.pkl"))
+    if not records:
+        raise ChaosFailure("incremental run recorded no draw-cache entries")
+    target = records[0]
+    record = pickle.loads(target.read_bytes())
+    record.draw_keys = tuple("0" * 24 for _ in record.draw_keys)
+    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    target.write_bytes(blob)
+    meta_path = target.with_suffix(".json")
+    meta = json.loads(meta_path.read_text())
+    meta["sha256"] = hashlib.sha256(blob).hexdigest()  # checksum stays valid
+    meta_path.write_text(json.dumps(meta))
+    # Drop the run-level artifact so the retry re-executes through the
+    # (tampered) draw cache instead of loading the finished result.
+    for path in (
+        store.artifact_path(job),
+        store.meta_path(job),
+        store.images_path(job),
+    ):
+        if path.exists():
+            path.unlink()
+    warm = ctx.farm("stale-drawcache", jobs=1, shard_frames=0, incremental=True)
+    recovered = warm.run([job])
+    _check_match(ctx.reference, recovered, [job])
+    if not any(p.name == target.name for p in warm.store.quarantined_files()):
+        raise ChaosFailure("stale draw-cache record was not invalidated")
+    return (
+        "stale record invalidated on per-draw key mismatch; "
+        "re-simulated bit-identical"
+    )
+
+
+def _corrupt_drawcache(ctx: _Context) -> str:
+    """A draw-cache record is truncated on disk; the checksum check must
+    quarantine it and re-simulate the frame, never reuse it."""
+    job = sim_job(WORKLOAD, 2)
+    farm = ctx.farm(
+        "corrupt-drawcache", jobs=1, shard_frames=0, incremental=True
+    )
+    first = farm.run([job])
+    _check_match(ctx.reference, first, [job])
+    store = farm.store
+    records = sorted(store.drawcache_dir.glob("*.pkl"))
+    if not records:
+        raise ChaosFailure("incremental run recorded no draw-cache entries")
+    target = records[-1]
+    target.write_bytes(target.read_bytes()[: max(1, target.stat().st_size // 3)])
+    for path in (
+        store.artifact_path(job),
+        store.meta_path(job),
+        store.images_path(job),
+    ):
+        if path.exists():
+            path.unlink()
+    warm = ctx.farm(
+        "corrupt-drawcache", jobs=1, shard_frames=0, incremental=True
+    )
+    recovered = warm.run([job])
+    _check_match(ctx.reference, recovered, [job])
+    if not any(p.name == target.name for p in warm.store.quarantined_files()):
+        raise ChaosFailure("truncated draw-cache record was not quarantined")
+    return (
+        "truncated record quarantined on checksum mismatch; "
+        "re-simulated bit-identical"
+    )
+
+
 SCENARIOS: dict[str, Callable[[_Context], str]] = {
     "crash": _crash,
     "hang": _hang,
@@ -290,6 +371,8 @@ SCENARIOS: dict[str, Callable[[_Context], str]] = {
     "graceful-degradation": _graceful_degradation,
     "worker-death-mid-shard": _worker_death_mid_shard,
     "corrupted-shard-artifact": _corrupted_shard_artifact,
+    "stale-drawcache": _stale_drawcache,
+    "corrupt-drawcache": _corrupt_drawcache,
 }
 
 

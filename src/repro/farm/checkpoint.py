@@ -111,6 +111,7 @@ def run_checkpointed(
     checkpoint_every: int = 1,
     on_frame=None,
     trace: Trace | None = None,
+    incremental: bool = False,
 ) -> SimulationResult:
     """Execute a sim/geometry job, checkpointing every N completed frames.
 
@@ -123,6 +124,12 @@ def run_checkpointed(
     For a frame shard, the replay fast-forwards the API state machine over
     the ``job.frame_offset`` frames before the slice (no simulation work)
     and then simulates ``job.frames`` frames of the shared timedemo.
+
+    ``incremental=True`` replays the slice through the draw-level content
+    cache (:mod:`repro.farm.drawcache`): frames whose keys are already
+    recorded apply their stored contributions instead of re-simulating,
+    bit-identically.  An execution strategy only — it never changes the
+    job's identity, artifact key, or result.
     """
     workload = build_job_workload(job)
     checkpointing = store is not None and checkpoint_every > 0
@@ -152,14 +159,28 @@ def run_checkpointed(
             if on_frame is not None:
                 on_frame(simulator, frames_done)
 
-        result = sim.run_trace(
-            trace,
-            max_frames=job.frames,
-            fragment_stages=job.fragment_stages,
-            resume=resume,
-            start_frame=job.frame_offset,
-            on_frame=hook,
-        )
+        if incremental:
+            from repro.farm.drawcache import job_drawcache, run_trace_incremental
+
+            result = run_trace_incremental(
+                sim,
+                trace,
+                job_drawcache(job, store),
+                max_frames=job.frames,
+                fragment_stages=job.fragment_stages,
+                resume=resume,
+                start_frame=job.frame_offset,
+                on_frame=hook,
+            )
+        else:
+            result = sim.run_trace(
+                trace,
+                max_frames=job.frames,
+                fragment_stages=job.fragment_stages,
+                resume=resume,
+                start_frame=job.frame_offset,
+                on_frame=hook,
+            )
 
     if checkpointing:
         store.clear_checkpoint(job)

@@ -154,8 +154,17 @@ class JobOutcome:
     phases: dict[str, float] = field(default_factory=dict)
 
 
+def incremental_default() -> bool:
+    """Resolve the ``REPRO_INCREMENTAL`` environment override (off default)."""
+    value = os.environ.get("REPRO_INCREMENTAL", "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
 def run_job(
-    job: JobSpec, cache_dir: str | None = None, checkpoint_every: int = 1
+    job: JobSpec,
+    cache_dir: str | None = None,
+    checkpoint_every: int = 1,
+    incremental: bool = False,
 ) -> JobOutcome:
     """Compute one job end-to-end (the worker-process entry point).
 
@@ -164,8 +173,10 @@ def run_job(
     survives a parent crash.  The timedemo is resolved through the shared
     trace store / worker-local cache (:func:`repro.farm.checkpoint
     .job_trace`), so it is generated once per demo, not once per shard.
-    Fault-injection hooks fire here so the chaos suite can kill, hang, or
-    trip the worker at a controlled point.
+    ``incremental=True`` routes sim/geometry replay through the draw-level
+    content cache (:mod:`repro.farm.drawcache`) — bit-identical, and never
+    part of the job's artifact key.  Fault-injection hooks fire here so the
+    chaos suite can kill, hang, or trip the worker at a controlled point.
     """
     faults.reset_native_if_planned()
     faults.on_job_start(job.describe())
@@ -193,7 +204,10 @@ def run_job(
         if job.kind == "api":
             result = run_api_job(job, store, trace=trace)
         else:
-            result = run_checkpointed(job, store, checkpoint_every, trace=trace)
+            result = run_checkpointed(
+                job, store, checkpoint_every, trace=trace,
+                incremental=incremental,
+            )
         phases["simulate"] = time.perf_counter() - mark
         wall_s = time.perf_counter() - start
         if store is not None:
@@ -222,6 +236,7 @@ def _pool_entry(
     cache_dir: str | None,
     checkpoint_every: int,
     started_beacon: str | None = None,
+    incremental: bool = False,
 ):
     """Pool-side wrapper: run the worker, strip stored results for transport.
 
@@ -229,6 +244,8 @@ def _pool_entry(
     plus scalars) crosses the process boundary; the parent reloads —
     memory-mapping rendered frames — from the store.  Custom workers and
     unsaved results (no cache dir, unwritable volume) pass through whole.
+    ``incremental`` is forwarded to the standard worker only — custom
+    workers keep their three-argument contract.
 
     The *started_beacon* file is touched before the worker runs: if this
     unit later comes back :class:`BrokenProcessPool`, the parent uses the
@@ -240,7 +257,10 @@ def _pool_entry(
             open(started_beacon, "w").close()
         except OSError:
             pass  # parent falls back to charging the attempt
-    outcome = worker(job, cache_dir, checkpoint_every)
+    if worker is run_job:
+        outcome = worker(job, cache_dir, checkpoint_every, incremental)
+    else:
+        outcome = worker(job, cache_dir, checkpoint_every)
     if (
         worker is run_job
         and cache_dir is not None
@@ -285,6 +305,7 @@ class Farm:
         backoff_max: float = 2.0,
         shard_frames: int | None = None,
         oversubscribe: bool = False,
+        incremental: bool | None = None,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
@@ -311,6 +332,13 @@ class Farm:
         #: the pool; ``0`` = never shard; ``k`` = split every shardable job
         #: into (up to) ``k`` frame slices.
         self.shard_frames = shard_frames
+        #: Draw-level incremental replay for sim/geometry jobs.  ``None``
+        #: resolves the ``REPRO_INCREMENTAL`` env override; an execution
+        #: strategy only — results and artifact keys are unchanged, so it
+        #: is never part of job identity.
+        self.incremental = (
+            incremental_default() if incremental is None else bool(incremental)
+        )
         self.last_report = FailureReport()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
@@ -624,7 +652,13 @@ class Farm:
         for job in batch:
             start = time.perf_counter()
             try:
-                outcome = worker(job, self.cache_dir, self.checkpoint_every)
+                if worker is run_job:
+                    outcome = worker(
+                        job, self.cache_dir, self.checkpoint_every,
+                        self.incremental,
+                    )
+                else:
+                    outcome = worker(job, self.cache_dir, self.checkpoint_every)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -691,6 +725,7 @@ class Farm:
                             self.cache_dir,
                             self.checkpoint_every,
                             beacons.get(job),
+                            self.incremental,
                         )
                     ] = job
             except (BrokenProcessPool, RuntimeError):

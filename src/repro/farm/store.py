@@ -12,6 +12,9 @@ Layout under the cache root (``.repro-cache/`` by default,
     traces/<tkey>.jsonl        generated API trace, shared by every job and
                                frame shard that replays the same timedemo
     traces/<tkey>.meta.json    trace SHA-256 / frame-count sidecar
+    drawcache/<fkey>.pkl       draw-level frame records for incremental
+                               simulation (+ ``.json`` SHA-256 sidecars,
+                               see :mod:`repro.farm.drawcache`)
     quarantine/                corrupt files moved aside, never reused
 
 Rendered frames dominate artifact size, so :meth:`save` splits them into a
@@ -126,6 +129,11 @@ class ArtifactStore:
     @property
     def trace_dir(self) -> pathlib.Path:
         return self.root / "traces"
+
+    @property
+    def drawcache_dir(self) -> pathlib.Path:
+        """Draw-level frame records (see :mod:`repro.farm.drawcache`)."""
+        return self.root / "drawcache"
 
     def artifact_path(self, job: JobSpec) -> pathlib.Path:
         return self.artifact_dir / f"{job.key()}.pkl"
@@ -631,6 +639,7 @@ class ArtifactStore:
             self.artifact_dir,
             self.checkpoint_dir,
             self.trace_dir,
+            self.drawcache_dir,
             self.quarantine_dir,
         ):
             if not directory.is_dir():

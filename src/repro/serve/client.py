@@ -20,6 +20,11 @@ import struct
 import time
 from typing import Iterator
 
+#: The submission schema version this client writes (kept in lock-step
+#: with :data:`repro.serve.protocol.VERSION`; asserted by the test suite
+#: rather than imported so the client stays importable standalone).
+PROTOCOL_VERSION = 1
+
 
 class _BufferedSocket:
     """Socket reads with a carry-over buffer.
@@ -119,6 +124,26 @@ class ServeClient:
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")[2]
 
+    def negotiate(self) -> dict:
+        """Health check plus protocol-version agreement.
+
+        Raises :class:`ServeError` if the server speaks a different
+        protocol version than this client writes — catching the skew up
+        front beats a structured 400 on the first submission.
+        """
+        doc = self.healthz()
+        server_version = doc.get("version")
+        if server_version != PROTOCOL_VERSION:
+            raise ServeError(
+                505,
+                {
+                    "error": f"server speaks protocol version "
+                    f"{server_version}, this client speaks "
+                    f"{PROTOCOL_VERSION}"
+                },
+            )
+        return doc
+
     def workloads(self) -> list[str]:
         return self._request("GET", "/v1/workloads")[2]["workloads"]
 
@@ -135,6 +160,7 @@ class ServeClient:
     ) -> dict:
         """Submit one job; returns its status document (job key in ``job``)."""
         body: dict = {
+            "version": PROTOCOL_VERSION,
             "client": self.client_id,
             "kind": kind,
             "workload": workload,

@@ -10,6 +10,7 @@ scheduling.
 A submission looks like::
 
     {
+      "version": 1,                    # schema version (optional, default 1)
       "client": "alice",               # tenant id (or X-Repro-Client header)
       "kind": "sim",                   # "api" | "sim" | "geometry"
       "workload": "UT2004/Primeval",   # a registered Table-I workload
@@ -20,8 +21,10 @@ A submission looks like::
 
 ``config`` accepts the scalar/boolean :class:`~repro.gpu.config.GpuConfig`
 fields (resolution, rates, feature toggles); cache geometries stay at the
-workload's defaults.  Unknown keys are rejected rather than ignored so a
-typo can never silently measure the wrong machine.
+workload's defaults.  Unknown fields and unknown schema versions are
+rejected rather than ignored — with a structured 400 naming the offending
+path — so a typo can never silently measure the wrong machine and an old
+server can never half-read a newer client's document.
 """
 
 from __future__ import annotations
@@ -51,19 +54,50 @@ CONFIG_FIELDS = {
 }
 
 
-class ProtocolError(ValueError):
-    """A malformed or unserviceable request; carries the HTTP status."""
+#: Every field a version-1 submission may carry.
+SUBMISSION_FIELDS = (
+    "version", "client", "kind", "workload", "frames", "seed", "config",
+)
 
-    def __init__(self, message: str, status: int = 400):
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request; carries the HTTP status.
+
+    ``path`` names the offending field (dotted for nested documents, e.g.
+    ``"config.width"``) so clients can point at the exact input that was
+    rejected; ``None`` when the problem is not attributable to one field.
+    """
+
+    def __init__(self, message: str, status: int = 400,
+                 path: str | None = None):
         super().__init__(message)
         self.status = status
+        self.path = path
 
 
 def _require(doc: dict, key: str, kind, what: str):
     value = doc.get(key)
     if not isinstance(value, kind) or isinstance(value, bool) and kind is int:
-        raise ProtocolError(f"{key!r} must be {what}")
+        raise ProtocolError(f"{key!r} must be {what}", path=key)
     return value
+
+
+def decode_version(doc: dict) -> int:
+    """The submission's declared schema version (absent means version 1).
+
+    Unknown versions are rejected outright: a document written for a newer
+    schema may carry semantics this server would silently misread.
+    """
+    version = doc.get("version", VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError("'version' must be an integer", path="version")
+    if version != VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (this server speaks "
+            f"version {VERSION})",
+            path="version",
+        )
+    return version
 
 
 def decode_client(doc: dict, header: str | None = None) -> str:
@@ -71,7 +105,8 @@ def decode_client(doc: dict, header: str | None = None) -> str:
     client = doc.get("client") or header or "anon"
     if not isinstance(client, str) or not _CLIENT_RE.match(client):
         raise ProtocolError(
-            "'client' must be 1-64 characters of [A-Za-z0-9._:-]"
+            "'client' must be 1-64 characters of [A-Za-z0-9._:-]",
+            path="client",
         )
     return client
 
@@ -79,47 +114,69 @@ def decode_client(doc: dict, header: str | None = None) -> str:
 def decode_config(doc: Any) -> GpuConfig:
     """A :class:`GpuConfig` from a JSON override document."""
     if not isinstance(doc, dict):
-        raise ProtocolError("'config' must be an object")
+        raise ProtocolError("'config' must be an object", path="config")
     unknown = sorted(set(doc) - set(CONFIG_FIELDS))
     if unknown:
         raise ProtocolError(
             f"unknown config field(s): {', '.join(unknown)} "
-            f"(overridable: {', '.join(sorted(CONFIG_FIELDS))})"
+            f"(overridable: {', '.join(sorted(CONFIG_FIELDS))})",
+            path=f"config.{unknown[0]}",
         )
     kwargs = {}
     for name, value in doc.items():
         want_bool = CONFIG_FIELDS[name] == "bool"
         if want_bool and not isinstance(value, bool):
-            raise ProtocolError(f"config field {name!r} must be a boolean")
+            raise ProtocolError(
+                f"config field {name!r} must be a boolean",
+                path=f"config.{name}",
+            )
         if not want_bool and (not isinstance(value, int) or isinstance(value, bool)):
-            raise ProtocolError(f"config field {name!r} must be an integer")
+            raise ProtocolError(
+                f"config field {name!r} must be an integer",
+                path=f"config.{name}",
+            )
         kwargs[name] = value
     try:
         return dataclasses.replace(GpuConfig(), **kwargs)
     except ValueError as exc:
-        raise ProtocolError(f"invalid config: {exc}") from exc
+        raise ProtocolError(f"invalid config: {exc}", path="config") from exc
 
 
 def decode_submission(doc: Any) -> JobSpec:
     """Validate a submission body into the :class:`JobSpec` it identifies."""
     if not isinstance(doc, dict):
         raise ProtocolError("request body must be a JSON object")
+    decode_version(doc)
+    unknown = sorted(set(doc) - set(SUBMISSION_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s): {', '.join(unknown)} "
+            f"(version {VERSION} accepts: "
+            f"{', '.join(SUBMISSION_FIELDS)})",
+            path=unknown[0],
+        )
     kind = _require(doc, "kind", str, "one of " + "/".join(KINDS))
     if kind not in KINDS:
-        raise ProtocolError(f"unknown kind {kind!r} (want {'/'.join(KINDS)})")
+        raise ProtocolError(
+            f"unknown kind {kind!r} (want {'/'.join(KINDS)})", path="kind"
+        )
     workload = _require(doc, "workload", str, "a registered workload name")
     from repro.workloads.registry import workload as lookup
 
     try:
         lookup(workload)
     except KeyError:
-        raise ProtocolError(f"unknown workload {workload!r}", status=404)
+        raise ProtocolError(
+            f"unknown workload {workload!r}", status=404, path="workload"
+        )
     frames = _require(doc, "frames", int, "an integer frame budget")
     if not 1 <= frames <= MAX_FRAMES:
-        raise ProtocolError(f"'frames' must be in [1, {MAX_FRAMES}]")
+        raise ProtocolError(
+            f"'frames' must be in [1, {MAX_FRAMES}]", path="frames"
+        )
     seed = doc.get("seed")
     if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
-        raise ProtocolError("'seed' must be an integer")
+        raise ProtocolError("'seed' must be an integer", path="seed")
     config = doc.get("config")
     spec_config = decode_config(config) if config is not None else None
     try:

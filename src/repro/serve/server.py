@@ -76,6 +76,11 @@ class ServeConfig:
     cache_dir: str | None = None
     #: Forward every span event (draw/stage level included) over WS.
     verbose_events: bool = False
+    #: Draw-level incremental replay in the lane farms (``None`` resolves
+    #: ``REPRO_INCREMENTAL``).  Bit-identical results, unchanged job keys.
+    incremental: bool | None = None
+    #: Frame-sharding policy passed through to the lane farms.
+    shard_frames: int | None = None
 
 
 class ReproServer:
@@ -169,7 +174,13 @@ class ReproServer:
     # -- execution lanes -------------------------------------------------
     async def _lane(self, index: int) -> None:
         """One lane: pull fairly, execute in a thread, publish the outcome."""
-        farm = Farm(store=self.store, jobs=1, checkpoint_every=0)
+        farm = Farm(
+            store=self.store,
+            jobs=1,
+            checkpoint_every=0,
+            shard_frames=self.config.shard_frames,
+            incremental=self.config.incremental,
+        )
         while True:
             entry = self.scheduler.next_entry()
             if entry is None:
@@ -357,7 +368,11 @@ class ReproServer:
             client = decode_client(doc, request.headers.get("x-repro-client"))
         except (ProtocolError, httpd.BadRequest) as exc:
             status = getattr(exc, "status", 400)
-            return httpd.json_response(status, {"error": str(exc)})
+            doc = {"error": str(exc), "version": VERSION}
+            path = getattr(exc, "path", None)
+            if path is not None:
+                doc["path"] = path
+            return httpd.json_response(status, doc)
         self.stats["submissions"] += 1
         key = spec.key()
         entry = self.entries.get(key)

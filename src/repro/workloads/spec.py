@@ -101,7 +101,14 @@ class EngineParams:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """One Table-I row plus the calibrated engine parameters."""
+    """One Table-I row plus the calibrated engine parameters.
+
+    ``schema_version`` versions this document's shape for external
+    consumers (the serve protocol, serialized specs): it only changes when
+    a field is renamed, removed, or reinterpreted — adding a defaulted
+    field is backward-compatible and keeps the version.  Consumers must
+    reject versions they do not know rather than half-read them.
+    """
 
     name: str  # e.g. "Doom3/trdemo2"
     game: str
@@ -119,6 +126,7 @@ class WorkloadSpec:
     params: EngineParams
     sim: SimProfile = SimProfile()
     api_stat_frames: int = 400  # default frames for API-statistics runs
+    schema_version: int = 1
 
     @property
     def texture_filter(self) -> TextureFilter:

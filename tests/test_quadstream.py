@@ -104,17 +104,21 @@ def test_rasterize_draw_chunking_invariant():
 
 
 def test_facade_exports():
-    for attr in ("simulate", "api_stats", "ExperimentConfig", "GpuConfig"):
+    for attr in (
+        "simulate",
+        "api_stats",
+        "characterize",
+        "ExperimentConfig",
+        "GpuConfig",
+    ):
         assert attr in repro.__all__
         assert callable(getattr(repro, attr))
 
 
-def test_runner_simulation_deprecation_shim():
+def test_runner_simulation_shim_removed():
+    """The 1.x ``Runner.simulation`` deprecation shim is gone in 2.0."""
     from repro.experiments.runner import ExperimentConfig, Runner
 
     runner = Runner(ExperimentConfig(sim_frames=1))
-    with pytest.warns(DeprecationWarning, match="simulate"):
-        deprecated = runner.simulation(ENGINES[0], frames=1)
-    direct = runner.simulate(ENGINES[0], frames=1)
-    assert deprecated.stats.frames == direct.stats.frames
-    assert deprecated.stats.quad_fates == direct.stats.quad_fates
+    assert not hasattr(runner, "simulation")
+    assert repro.__version__.split(".")[0] == "2"
