@@ -587,9 +587,22 @@ def _cmd_observe(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.farm.chaos import run_chaos
+    code = 0
+    if args.suite in ("farm", "all"):
+        from repro.farm.chaos import run_chaos
 
-    return run_chaos(seed=args.seed, jobs=args.jobs, only=args.only)
+        code = max(code, run_chaos(seed=args.seed, jobs=args.jobs,
+                                   only=args.only))
+    if args.suite in ("serve", "all"):
+        from repro.serve.chaos import run_serve_chaos
+
+        code = max(
+            code,
+            run_serve_chaos(
+                seed=args.seed, only=args.only, artifacts_dir=args.artifacts
+            ),
+        )
+    return code
 
 
 def _cmd_farm(args) -> int:
@@ -645,6 +658,10 @@ def _cmd_serve(args) -> int:
         verbose_events=args.verbose_events,
         incremental=args.incremental,
         shard_frames=args.shard_frames,
+        default_deadline_s=args.default_deadline,
+        journal=not args.no_journal,
+        lane_hang_s=args.lane_hang,
+        request_timeout_s=args.request_timeout,
     )
     server = ReproServer(config)
 
@@ -891,6 +908,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--only", nargs="*", help="subset of scenarios, e.g. crash hang"
     )
+    p.add_argument(
+        "--suite",
+        choices=["farm", "serve", "all"],
+        default="farm",
+        help="which suite: farm faults, serve durability, or both",
+    )
+    p.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory to copy serve journals + failure reports into",
+    )
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("farm", help="inspect or clear the artifact cache")
@@ -932,6 +960,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose-events",
         action="store_true",
         help="stream draw/stage-level spans too (default: coarse progress)",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline (s) applied to submissions that do not request one",
+    )
+    p.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the crash-recovery job journal",
+    )
+    p.add_argument(
+        "--lane-hang",
+        type=float,
+        default=30.0,
+        help="heartbeat staleness (s) before the watchdog fails a lane's job",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a connection may take to deliver a request head (408)",
     )
     _add_execution_flags(p)
     p.set_defaults(func=_cmd_serve)

@@ -280,16 +280,22 @@ class DrawCache:
             return
         try:
             blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-            _atomic_write(self.record_path(record.frame_key), blob)
-            meta = {
-                "sha256": hashlib.sha256(blob).hexdigest(),
-                "base": self.base_key,
-                "frame_key": record.frame_key,
-                "draws": len(record.draw_keys),
-            }
-            _atomic_write(
-                self.meta_path(record.frame_key), json.dumps(meta).encode()
-            )
+            # The record + sidecar pair must land together: a concurrent
+            # quota sweep or quarantine move interleaving between the two
+            # writes would leave a record whose checksum never verifies.
+            # LockTimeout is an OSError, so a contended lock degrades to
+            # memory-only exactly like a full volume does.
+            with self.store.lock("drawcache", timeout=10.0):
+                _atomic_write(self.record_path(record.frame_key), blob)
+                meta = {
+                    "sha256": hashlib.sha256(blob).hexdigest(),
+                    "base": self.base_key,
+                    "frame_key": record.frame_key,
+                    "draws": len(record.draw_keys),
+                }
+                _atomic_write(
+                    self.meta_path(record.frame_key), json.dumps(meta).encode()
+                )
         except OSError:
             pass  # full/read-only volume: run on memory-only
 

@@ -60,7 +60,6 @@ merged jobs are validated again as a whole.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import math
 import os
 import shutil
@@ -82,6 +81,7 @@ from repro.farm import faults
 from repro.farm.checkpoint import job_trace, run_api_job, run_checkpointed
 from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec
+from repro.farm.locks import backoff_delay
 from repro.farm.merge import MergeError, merge_results
 from repro.farm.store import ArtifactStore
 from repro.farm.telemetry import FarmTelemetry
@@ -604,12 +604,10 @@ class Farm:
         always waits the same amount — reruns stay reproducible while
         distinct batches still desynchronize.
         """
-        if self.backoff_base <= 0:
-            return
-        delay = min(self.backoff_max, self.backoff_base * (2 ** (round_no - 1)))
         seed = ",".join(sorted(job.key() for job in round_jobs)) + f"#{round_no}"
-        digest = int(hashlib.sha256(seed.encode()).hexdigest()[:8], 16)
-        time.sleep(delay * (0.5 + (digest % 1000) / 1000.0))
+        delay = backoff_delay(round_no, self.backoff_base, self.backoff_max, seed)
+        if delay > 0:
+            time.sleep(delay)
 
     # -- execution strategies -------------------------------------------
     def _harvest(

@@ -61,6 +61,7 @@ from repro.api import trace as trace_io
 from repro.farm import faults
 from repro.farm.invariants import validate_result
 from repro.farm.job import JobSpec
+from repro.farm.locks import FileLock, LockTimeout
 from repro.farm.version import code_version
 
 #: Default cache directory name, relative to the current working directory.
@@ -159,6 +160,20 @@ class ArtifactStore:
     def spans_path(self, job: JobSpec) -> pathlib.Path:
         return self.artifact_dir / f"{job.key()}.spans.jsonl"
 
+    # -- cross-process locking ------------------------------------------
+    def lock(self, name: str = "store", timeout: float | None = 30.0) -> FileLock:
+        """An advisory cross-process lock scoped to this store.
+
+        One ``.repro-cache`` is routinely shared by a serve instance and
+        CLI runs; multi-file critical sections (quota eviction, quarantine
+        moves, drawcache record+sidecar pairs, journal appends) take one of
+        these so they never interleave across processes.  ``name`` selects
+        the lock file (``journal`` > ``drawcache`` > ``trace`` > ``store``
+        in acquisition order — see :mod:`repro.farm.locks` for the
+        hierarchy rules).
+        """
+        return FileLock(self.root / "locks" / f"{name}.lock", timeout=timeout)
+
     # -- quarantine ------------------------------------------------------
     def quarantine(self, paths: list[pathlib.Path], reason: str) -> None:
         """Move corrupt files aside so they are never loaded again.
@@ -166,24 +181,38 @@ class ArtifactStore:
         Best effort by design: on an unwritable volume the files cannot be
         moved *or* deleted, but the caller already treats them as a miss,
         and the checksum/decode gauntlet will reject them again next time.
+        The store lock keeps the move + ``REASONS.log`` append atomic
+        against concurrent eviction in another process — but a lock that
+        cannot be acquired never blocks the quarantine itself.
         """
         self.quarantined += 1
-        names = [p.name for p in paths if p.exists()]
+        guard: FileLock | None = self.lock("store", timeout=5.0)
         try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            guard.acquire()
         except OSError:
-            return
-        for path in paths:
+            guard = None  # quarantine must proceed regardless
+        try:
+            names = [p.name for p in paths if p.exists()]
             try:
-                if path.exists():
-                    os.replace(path, self.quarantine_dir / path.name)
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                return
+            for path in paths:
+                try:
+                    if path.exists():
+                        os.replace(path, self.quarantine_dir / path.name)
+                except OSError:
+                    pass
+            try:
+                with (self.quarantine_dir / "REASONS.log").open("a") as log:
+                    log.write(
+                        f"{time.time():.0f} {','.join(names) or '?'}: {reason}\n"
+                    )
             except OSError:
                 pass
-        try:
-            with (self.quarantine_dir / "REASONS.log").open("a") as log:
-                log.write(f"{time.time():.0f} {','.join(names) or '?'}: {reason}\n")
-        except OSError:
-            pass
+        finally:
+            if guard is not None:
+                guard.release()
 
     def quarantined_files(self) -> list[pathlib.Path]:
         if not self.quarantine_dir.is_dir():
@@ -507,31 +536,50 @@ class ArtifactStore:
         return trace
 
     def save_trace(self, job: JobSpec, trace) -> None:
-        """Persist a generated timedemo for other workers/shards to replay."""
+        """Persist a generated timedemo for other workers/shards to replay.
+
+        The trace and its checksum sidecar are two files: the trace lock
+        keeps the pair coherent when several processes generate the same
+        workload concurrently (a trace from one writer paired with the
+        other's sidecar would checksum-fail and be quarantined on load).
+        Best effort — a busy lock degrades to the unlocked write rather
+        than failing the job that produced the trace.
+        """
         faults.check_writable(f"trace:{job.describe()}")
-        path = self.trace_path(job)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        os.close(fd)
+        guard: FileLock | None = self.lock("trace", timeout=10.0)
         try:
-            trace_io.save_trace(trace, tmp)
-            digest = hashlib.sha256(pathlib.Path(tmp).read_bytes()).hexdigest()
-            os.replace(tmp, path)
-        except BaseException:
+            guard.acquire()
+        except OSError:
+            guard = None
+        try:
+            path = self.trace_path(job)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            os.close(fd)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        meta = {
-            "sha256": digest,
-            "frames": trace.meta.frame_count,
-            "workload": job.workload,
-            "created": time.time(),
-        }
-        _atomic_write(self.trace_meta_path(job), json.dumps(meta).encode())
+                trace_io.save_trace(trace, tmp)
+                digest = hashlib.sha256(
+                    pathlib.Path(tmp).read_bytes()
+                ).hexdigest()
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            meta = {
+                "sha256": digest,
+                "frames": trace.meta.frame_count,
+                "workload": job.workload,
+                "created": time.time(),
+            }
+            _atomic_write(self.trace_meta_path(job), json.dumps(meta).encode())
+        finally:
+            if guard is not None:
+                guard.release()
         faults.corrupt_file("corrupt_trace", path, job.describe())
 
     def contains_trace(self, job: JobSpec) -> bool:
@@ -613,24 +661,46 @@ class ArtifactStore:
         quarantine directory is never touched — a quarantined family stays
         quarantined.  Eviction *deletes* (it is reclaiming space from valid
         artifacts, not preserving evidence).  Returns the evicted keys.
+
+        Runs under the store lock, and re-checks each family's recency
+        immediately before unlinking: recency is read from meta mtimes when
+        the candidate list is built, so without the re-check a concurrent
+        load could touch a family *after* it was selected and still lose it
+        — the classic check-then-act race.  A family whose meta mtime moved
+        past the snapshot is skipped this round (it is recently used now).
+        If the lock cannot be acquired another process is already managing
+        the quota; this call backs off and evicts nothing.
         """
         pinned = set(pinned)
-        families = self.families()
-        total = sum(f["bytes"] for f in families)
-        evicted: list[str] = []
-        for family in families:
-            if total <= max_bytes:
-                break
-            if family["key"] in pinned:
-                continue
-            for path in family["paths"]:
+        try:
+            guard = self.lock("store").acquire()
+        except LockTimeout:
+            return []
+        try:
+            families = self.families()
+            total = sum(f["bytes"] for f in families)
+            evicted: list[str] = []
+            for family in families:
+                if total <= max_bytes:
+                    break
+                if family["key"] in pinned:
+                    continue
+                meta_path = self.artifact_dir / f"{family['key']}.json"
                 try:
-                    path.unlink()
+                    if meta_path.stat().st_mtime > family["last_used"]:
+                        continue  # touched since the snapshot: now recent
                 except OSError:
-                    pass
-            total -= family["bytes"]
-            evicted.append(family["key"])
-        return evicted
+                    pass  # meta already gone; reclaim the leftovers
+                for path in family["paths"]:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                total -= family["bytes"]
+                evicted.append(family["key"])
+            return evicted
+        finally:
+            guard.release()
 
     def clear(self) -> int:
         """Delete every artifact, checkpoint, and quarantined file."""

@@ -11,6 +11,7 @@ WebSocket.  Results and raw artifacts are served from the shared
 """
 
 from repro.serve.client import Backpressure, ServeClient, ServeError
+from repro.serve.journal import JobJournal
 from repro.serve.loadtest import check_loadtest, run_loadtest
 from repro.serve.protocol import (
     MAX_FRAMES,
@@ -20,6 +21,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.scheduler import FairScheduler, JobEntry, QueueFull
 from repro.serve.server import (
+    CircuitBreaker,
     ReproServer,
     ServeConfig,
     ServerThread,
@@ -29,6 +31,7 @@ __all__ = [
     "Backpressure",
     "ServeClient",
     "ServeError",
+    "JobJournal",
     "check_loadtest",
     "run_loadtest",
     "MAX_FRAMES",
@@ -38,6 +41,7 @@ __all__ = [
     "FairScheduler",
     "JobEntry",
     "QueueFull",
+    "CircuitBreaker",
     "ReproServer",
     "ServeConfig",
     "ServerThread",

@@ -157,6 +157,7 @@ class ServeClient:
         frames: int,
         seed: int | None = None,
         config: dict | None = None,
+        deadline_s: float | None = None,
     ) -> dict:
         """Submit one job; returns its status document (job key in ``job``)."""
         body: dict = {
@@ -170,18 +171,76 @@ class ServeClient:
             body["seed"] = seed
         if config is not None:
             body["config"] = config
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
         return self._request("POST", "/v1/jobs", body)[2]
 
     def submit_retrying(self, *args, max_wait: float = 120.0, **kwargs) -> dict:
-        """Like :meth:`submit`, but waits out 429 backpressure."""
+        """Like :meth:`submit`, but rides out transient rejection.
+
+        Retries HTTP 429 backpressure, 503 degraded/draining responses
+        that carry a retry hint, and a refused connection (the server is
+        restarting — the recovery scenario the journal exists for) — using
+        the farm's capped exponential backoff with deterministic jitter,
+        bounded by the server's own Retry-After hint when it sent one.
+        Anything else (400s, a stable 503, a dead server past ``max_wait``)
+        raises as usual.
+        """
+        from repro.farm.locks import backoff_delay
+
         deadline = time.monotonic() + max_wait
+        attempt = 0
         while True:
+            attempt += 1
+            hint: float | None = None
             try:
                 return self.submit(*args, **kwargs)
             except Backpressure as exc:
-                if time.monotonic() >= deadline:
+                hint = exc.retry_after
+            except ServeError as exc:
+                retry_after = (
+                    exc.doc.get("retry_after_s")
+                    if isinstance(exc.doc, dict) else None
+                )
+                if exc.status != 503 or retry_after is None:
                     raise
-                time.sleep(min(exc.retry_after, 2.0, max(0.05, deadline - time.monotonic())))
+                hint = float(retry_after)
+            except (ConnectionRefusedError, ConnectionResetError):
+                pass  # server down or mid-restart: plain backoff below
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"submission not accepted within {max_wait:g}s"
+                )
+            delay = backoff_delay(
+                attempt, 0.05, 2.0, f"{self.client_id}#{attempt}"
+            )
+            if hint is not None:
+                delay = min(delay, hint)
+            time.sleep(min(max(0.05, delay), remaining))
+
+    def wait_ready(self, max_wait: float = 30.0) -> dict:
+        """Block until the server answers its health check; returns it.
+
+        The boot-synchronization loop every harness was hand-rolling:
+        backs off on a refused/reset connection until ``max_wait``.
+        """
+        from repro.farm.locks import backoff_delay
+
+        deadline = time.monotonic() + max_wait
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.healthz()
+            except OSError:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                delay = backoff_delay(
+                    attempt, 0.05, 1.0, f"{self.client_id}-ready#{attempt}"
+                )
+                time.sleep(min(max(0.05, delay), remaining))
 
     def status(self, job: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job}")[2]
@@ -211,12 +270,20 @@ class ServeClient:
             time.sleep(poll)
 
     # -- WebSocket progress stream ---------------------------------------
-    def events(self, job: str, timeout: float = 300.0) -> Iterator[dict]:
+    def events(
+        self, job: str, timeout: float = 300.0, after_seq: int | None = None
+    ) -> Iterator[dict]:
         """Yield the job's progress events (buffered replay, then live).
 
-        The stream ends when the server sends its CLOSE frame after the
-        job reaches a terminal state.
+        ``after_seq`` is the replay cursor: pass the ``seq`` of the last
+        event received before a disconnect and the server resumes the
+        stream strictly after it — no duplicates, no gaps.  The stream
+        ends when the server sends its CLOSE frame after the job reaches
+        a terminal state.
         """
+        path = f"/v1/jobs/{job}/events"
+        if after_seq is not None:
+            path += f"?from={int(after_seq)}"
         sock = socket.create_connection(
             (self.host, self.port), timeout=timeout
         )
@@ -224,7 +291,7 @@ class ServeClient:
             key = base64.b64encode(os.urandom(16)).decode()
             sock.sendall(
                 (
-                    f"GET /v1/jobs/{job}/events HTTP/1.1\r\n"
+                    f"GET {path} HTTP/1.1\r\n"
                     f"Host: {self.host}:{self.port}\r\n"
                     "Upgrade: websocket\r\n"
                     "Connection: Upgrade\r\n"

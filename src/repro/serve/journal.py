@@ -1,0 +1,320 @@
+"""Crash-recoverable job journal for the characterization service.
+
+``repro.serve`` (PR 6) held every job's lifecycle purely in memory: a
+crash or ``kill -9`` silently dropped all queued and in-flight
+submissions.  The journal closes that gap with the cheapest durable
+structure that works — an append-only JSONL file under the artifact
+store, one checksummed record per lifecycle transition::
+
+    <store>/journal/serve.jsonl      the journal itself
+    <store>/journal/store.id         this store's identity (random UUID)
+
+Record shapes (all one JSON object per line)::
+
+    {"rec": "journal", "store": "<uuid>", "journal_version": 1, ...}
+    {"rec": "submitted", "job": "<key>", "client": "...",
+     "submission": {...}, "deadline_s": 30.0, "ts": ..., "sha256": "..."}
+    {"rec": "started",   "job": "<key>", "lane": 0, "ts": ..., ...}
+    {"rec": "done",      "job": "<key>", "summary": {...}, ...}
+    {"rec": "failed",    "job": "<key>", "error": "...", ...}
+    {"rec": "cancelled", "job": "<key>", ...}
+
+Every record carries ``sha256`` — the SHA-256 of its canonical JSON
+encoding *minus* the checksum field — so a torn append (power loss mid
+write) or a bit flip is detected line-by-line.  Replay trusts the longest
+valid prefix: the first unverifiable line ends the parse, the damaged
+file is quarantined (with a ``REASONS.log`` entry, like every other
+corrupt artifact in this repo), and the valid prefix is rewritten in its
+place.  A journal whose header names a different ``store.id`` belonged to
+some other cache directory that was copied over this one — none of its
+completion claims can be trusted against *this* store's artifacts, so it
+is quarantined whole and replay starts empty.
+
+``submitted`` records embed the full wire submission
+(:func:`repro.serve.protocol.spec_to_doc`), not just the key: on boot the
+server re-decodes the submission and recomputes the key, so a
+code-version bump between runs (which changes every content-addressed
+key) re-runs the job under its new key instead of trusting a stale
+artifact.
+
+Appends run under the store's cross-process ``journal`` lock
+(:mod:`repro.farm.locks`) and through the fault-injection writability
+gate, but are **not** fsynced: ``kill -9`` only loses what never reached
+the page cache — nothing, for a process that already returned from
+``write`` — and the loadtest budget (durability within 10% of the
+in-memory baseline) rules out an fsync per transition.  Power loss can
+drop the tail; the checksum prefix-salvage handles exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from typing import Any, Iterable
+
+from repro.farm import faults
+from repro.farm.store import ArtifactStore, _atomic_write
+
+#: Bump when the record shapes change incompatibly.
+JOURNAL_VERSION = 1
+
+#: Lifecycle records replay understands; anything else ends the prefix.
+RECORD_KINDS = ("journal", "submitted", "started", "done", "failed",
+                "cancelled")
+
+#: Terminal record kinds (the job needs no re-run on replay).
+TERMINAL_KINDS = ("done", "failed", "cancelled")
+
+
+def _checksum(record: dict) -> str:
+    """SHA-256 over the record's canonical JSON, minus the checksum field."""
+    import hashlib
+
+    body = {key: value for key, value in record.items() if key != "sha256"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def seal(record: dict) -> dict:
+    """The record with its ``sha256`` stamped in."""
+    sealed = dict(record)
+    sealed["sha256"] = _checksum(sealed)
+    return sealed
+
+
+def verify(record: Any) -> bool:
+    """Whether ``record`` is a well-formed, checksum-valid journal record."""
+    if not isinstance(record, dict):
+        return False
+    if record.get("rec") not in RECORD_KINDS:
+        return False
+    expected = record.get("sha256")
+    if not isinstance(expected, str):
+        return False
+    return _checksum(record) == expected
+
+
+class JobJournal:
+    """The append-only lifecycle journal of one store's serve instance."""
+
+    def __init__(self, store: ArtifactStore):
+        self.store = store
+        self.directory = store.root / "journal"
+        self.path = self.directory / "serve.jsonl"
+        self.id_path = self.directory / "store.id"
+        self.appended = 0
+        self.salvaged = 0
+        self.discarded = 0
+
+    # -- identity --------------------------------------------------------
+    def store_id(self) -> str:
+        """This store's identity, minted on first use.
+
+        Lives next to the journal so a journal file copied between cache
+        directories is detectable: its header names an id the destination
+        store does not have.
+        """
+        try:
+            existing = self.id_path.read_text().strip()
+            if existing:
+                return existing
+        except OSError:
+            pass
+        minted = uuid.uuid4().hex
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            _atomic_write(self.id_path, minted.encode())
+        except OSError:
+            pass  # unwritable volume: identity is per-boot, replay still safe
+        return minted
+
+    def header(self) -> dict:
+        return seal({
+            "rec": "journal",
+            "journal_version": JOURNAL_VERSION,
+            "store": self.store_id(),
+            "ts": time.time(),
+        })
+
+    # -- writing ---------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one lifecycle record.
+
+        Raises ``OSError`` on an unwritable volume (including injected
+        ENOSPC — the server's circuit breaker watches for exactly that);
+        the caller decides whether that degrades service or is ignored.
+        """
+        faults.check_writable(f"journal:{record.get('rec', '?')}")
+        sealed = seal({**record, "ts": record.get("ts", time.time())})
+        line = json.dumps(sealed, sort_keys=True, separators=(",", ":"))
+        with self.store.lock("journal", timeout=10.0):
+            fresh = not self.path.exists()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                if fresh:
+                    handle.write(
+                        json.dumps(self.header(), sort_keys=True,
+                                   separators=(",", ":")) + "\n"
+                    )
+                handle.write(line + "\n")
+        self.appended += 1
+
+    # -- reading ---------------------------------------------------------
+    def replay(self) -> list[dict]:
+        """Every trustworthy record, oldest first.
+
+        Parses the longest checksum-valid prefix.  If anything after that
+        prefix exists (torn tail, bit flip, garbage), the damaged journal
+        is quarantined and the valid prefix is rewritten in place, so the
+        next boot sees a clean file.  A journal from a *different* store
+        (header ``store`` mismatch) is quarantined whole.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return []
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        records: list[dict] = []
+        damage: str | None = None
+        for index, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                damage = f"line {index + 1} undecodable"
+                break
+            if not verify(record):
+                damage = f"line {index + 1} failed its checksum"
+                break
+            if index == 0:
+                if record.get("rec") != "journal":
+                    damage = "missing journal header"
+                    records = []
+                    break
+                if record.get("store") != self.store_id():
+                    # A foreign journal's completion claims say nothing
+                    # about this store's artifacts.  Trust none of it.
+                    self._quarantine("journal belongs to another store", [])
+                    self.discarded += len(lines)
+                    return []
+                if record.get("journal_version") != JOURNAL_VERSION:
+                    self._quarantine(
+                        f"unsupported journal version "
+                        f"{record.get('journal_version')!r}", []
+                    )
+                    self.discarded += len(lines)
+                    return []
+                continue  # header is not a lifecycle record
+            records.append(record)
+        if damage is not None:
+            self.discarded += len(lines) - len(records) - 1
+            self.salvaged += len(records)
+            self._quarantine(damage, records)
+        return records
+
+    def _quarantine(self, reason: str, salvaged: list[dict]) -> None:
+        """Move the damaged journal aside and rewrite the valid prefix."""
+        self.store.quarantine(
+            [self.path], f"serve journal: {reason} "
+            f"({len(salvaged)} record(s) salvaged)"
+        )
+        if salvaged:
+            try:
+                self.rewrite(salvaged)
+            except OSError:
+                pass  # unwritable: replay already holds the salvage in memory
+
+    def rewrite(self, records: Iterable[dict]) -> None:
+        """Atomically replace the journal with a header + ``records``."""
+        lines = [json.dumps(self.header(), sort_keys=True,
+                            separators=(",", ":"))]
+        lines += [
+            json.dumps(seal(record), sort_keys=True, separators=(",", ":"))
+            for record in records
+        ]
+        with self.store.lock("journal", timeout=10.0):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            _atomic_write(self.path, ("\n".join(lines) + "\n").encode())
+
+    # -- interpretation --------------------------------------------------
+    @staticmethod
+    def reduce(records: list[dict]) -> dict[str, dict]:
+        """Fold lifecycle records into per-job latest state, oldest first.
+
+        Returns ``{key: {"submission", "client", "deadline_s", "state",
+        "summary", "error", "ts"}}``.  Later records win; a fresh
+        ``submitted`` after a terminal record reopens the job (that is a
+        legitimate resubmission of a previously failed key).
+        """
+        jobs: dict[str, dict] = {}
+        for record in records:
+            key = record.get("job")
+            if not isinstance(key, str):
+                continue
+            kind = record["rec"]
+            entry = jobs.get(key)
+            if kind == "submitted":
+                if entry is None or entry["state"] in ("failed", "cancelled"):
+                    jobs[key] = {
+                        "submission": record.get("submission"),
+                        "client": record.get("client", "anon"),
+                        "deadline_s": record.get("deadline_s"),
+                        "state": "queued",
+                        "summary": None,
+                        "error": None,
+                        "ts": record.get("ts"),
+                    }
+                continue
+            if entry is None:
+                continue  # orphan transition: its submission was lost
+            if kind == "started":
+                if entry["state"] == "queued":
+                    entry["state"] = "running"
+            elif kind == "done":
+                entry["state"] = "done"
+                entry["summary"] = record.get("summary")
+            elif kind == "failed":
+                entry["state"] = "failed"
+                entry["error"] = record.get("error")
+            elif kind == "cancelled":
+                entry["state"] = "cancelled"
+            entry["ts"] = record.get("ts", entry["ts"])
+        return jobs
+
+    def compact(self, jobs: dict[str, dict]) -> None:
+        """Rewrite the journal to one or two records per job.
+
+        Boot-time housekeeping: replay already reduced history to latest
+        state, so the full transition log is dead weight.  Each job keeps
+        its ``submitted`` record (the re-runnable source of truth) plus a
+        terminal record when it has one.
+        """
+        records: list[dict] = []
+        for key, entry in sorted(jobs.items(), key=lambda kv: kv[1]["ts"] or 0):
+            records.append({
+                "rec": "submitted",
+                "job": key,
+                "client": entry["client"],
+                "submission": entry["submission"],
+                "deadline_s": entry["deadline_s"],
+                "ts": entry["ts"],
+            })
+            if entry["state"] == "done":
+                records.append({
+                    "rec": "done", "job": key,
+                    "summary": entry["summary"], "ts": entry["ts"],
+                })
+            elif entry["state"] == "failed":
+                records.append({
+                    "rec": "failed", "job": key,
+                    "error": entry["error"], "ts": entry["ts"],
+                })
+            elif entry["state"] == "cancelled":
+                records.append({"rec": "cancelled", "job": key,
+                                "ts": entry["ts"]})
+        try:
+            self.rewrite(records)
+        except OSError:
+            pass  # compaction is an optimization, never a correctness step

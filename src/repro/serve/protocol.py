@@ -54,10 +54,16 @@ CONFIG_FIELDS = {
 }
 
 
-#: Every field a version-1 submission may carry.
+#: Every field a version-1 submission may carry.  ``deadline_s`` is an
+#: additive optional field — older clients simply never send it — so the
+#: schema version stays 1.
 SUBMISSION_FIELDS = (
     "version", "client", "kind", "workload", "frames", "seed", "config",
+    "deadline_s",
 )
+
+#: Upper bound on a requested deadline; anything longer is a typo.
+MAX_DEADLINE_S = 86400.0
 
 
 class ProtocolError(ValueError):
@@ -183,6 +189,57 @@ def decode_submission(doc: Any) -> JobSpec:
         return JobSpec(kind, workload, frames, seed=seed, config=spec_config)
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
+
+
+def decode_deadline(doc: dict) -> float | None:
+    """The submission's requested deadline in seconds, or ``None``.
+
+    A deadline is quality-of-service, never identity: two submissions that
+    differ only in ``deadline_s`` are the *same* job (same key, dedupe into
+    one run) — which is why this is decoded separately from
+    :func:`decode_submission` and never reaches the :class:`JobSpec`.
+    """
+    deadline = doc.get("deadline_s") if isinstance(doc, dict) else None
+    if deadline is None:
+        return None
+    if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+        raise ProtocolError(
+            "'deadline_s' must be a number of seconds", path="deadline_s"
+        )
+    if not 0 < deadline <= MAX_DEADLINE_S:
+        raise ProtocolError(
+            f"'deadline_s' must be in (0, {MAX_DEADLINE_S:g}]",
+            path="deadline_s",
+        )
+    return float(deadline)
+
+
+def spec_to_doc(spec: JobSpec) -> dict:
+    """Render a :class:`JobSpec` back into a version-1 submission body.
+
+    The inverse of :func:`decode_submission`, used by the job journal so a
+    replayed record rebuilds the *same* spec (and therefore the same
+    content-addressed key, barring a code-version bump).  A non-default
+    config emits only the overridden fields; a default-but-present config
+    emits ``{}`` — ``config: None`` and ``config: GpuConfig()`` fingerprint
+    differently, and the round trip must preserve which one was submitted.
+    """
+    doc: dict = {
+        "version": VERSION,
+        "kind": spec.kind,
+        "workload": spec.workload,
+        "frames": spec.frames,
+    }
+    if spec.seed is not None:
+        doc["seed"] = spec.seed
+    if spec.config is not None:
+        default = GpuConfig()
+        doc["config"] = {
+            name: getattr(spec.config, name)
+            for name in CONFIG_FIELDS
+            if getattr(spec.config, name) != getattr(default, name)
+        }
+    return doc
 
 
 # -- response documents ----------------------------------------------------

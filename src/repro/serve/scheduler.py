@@ -70,6 +70,16 @@ class JobEntry:
     dedup_hits: int = 0
     error: str | None = None
     summary: dict | None = None
+    #: Deadline: requested seconds (or the server default) and the absolute
+    #: wall-clock cutoff derived from it at submission.  QoS only — never
+    #: part of the job's content-addressed identity.
+    deadline_s: float | None = None
+    deadline_at: float | None = None
+    #: Lane index while running (watchdog bookkeeping).
+    lane: int | None = None
+    #: Structured cause chain (deadline exceeded, lane hung, ...), oldest
+    #: first — mirrors the farm's per-job failure causes.
+    causes: list[str] = field(default_factory=list)
     #: Buffered progress events (seq-ordered); WS subscribers replay these
     #: then follow the live feed.
     events: list[dict] = field(default_factory=list)
@@ -97,6 +107,8 @@ class JobEntry:
             "dedup_hits": self.dedup_hits,
             "events": len(self.events),
             "error": self.error,
+            "deadline_s": self.deadline_s,
+            "causes": list(self.causes),
         }
 
 
@@ -132,14 +144,19 @@ class FairScheduler:
         return max(1.0, round(self.depth(client) * self.avg_job_s, 1))
 
     # -- queue operations ------------------------------------------------
-    def submit(self, entry: JobEntry) -> None:
-        """Enqueue for the entry's owning client; raises :class:`QueueFull`."""
+    def submit(self, entry: JobEntry, force: bool = False) -> None:
+        """Enqueue for the entry's owning client; raises :class:`QueueFull`.
+
+        ``force=True`` bypasses the depth limit — used by journal replay,
+        which must requeue every incomplete job it recovered: work the
+        server already accepted is never bounced for depth on restart.
+        """
         client = entry.client
         queue = self._queues.get(client)
         if queue is None:
             queue = self._queues[client] = deque()
             self._ring.append(client)
-        if len(queue) >= self.max_depth:
+        if not force and len(queue) >= self.max_depth:
             raise QueueFull(client, len(queue), self.retry_after(client))
         queue.append(entry)
 

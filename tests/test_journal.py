@@ -1,0 +1,189 @@
+"""The serve job journal: checksums, prefix salvage, reduce/compact.
+
+The journal is the durability substrate of the characterization service:
+these tests pin the properties recovery rests on — a torn or bit-flipped
+tail never poisons the valid prefix, a journal copied from a different
+store is never trusted, and the reduce/compact pair is a fixed point
+(compacting a reduced state and replaying it yields the same state).
+"""
+
+import json
+import shutil
+
+from repro.farm import ArtifactStore
+from repro.serve.journal import (
+    JOURNAL_VERSION,
+    JobJournal,
+    seal,
+    verify,
+)
+
+
+def _journal(root) -> JobJournal:
+    return JobJournal(ArtifactStore(root))
+
+
+def _submitted(key: str, ts: float = 1.0) -> dict:
+    return {
+        "rec": "submitted",
+        "job": key,
+        "client": "t",
+        "submission": {"kind": "api", "workload": "W", "frames": 2},
+        "deadline_s": None,
+        "ts": ts,
+    }
+
+
+def _reasons(root) -> str:
+    path = root / "quarantine" / "REASONS.log"
+    return path.read_text() if path.exists() else ""
+
+
+class TestChecksums:
+    def test_seal_verify_roundtrip(self):
+        record = seal({"rec": "done", "job": "k", "summary": {"n": 1}})
+        assert verify(record)
+
+    def test_tampered_record_fails(self):
+        record = seal({"rec": "done", "job": "k"})
+        assert not verify({**record, "job": "other"})
+        assert not verify({**record, "sha256": "0" * 64})
+
+    def test_malformed_records_fail(self):
+        assert not verify("not a dict")
+        assert not verify({"rec": "done", "job": "k"})  # unsealed
+        assert not verify(seal({"rec": "martian", "job": "k"}))
+
+
+class TestAppendReplay:
+    def test_append_writes_header_then_records(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.append(_submitted("k1"))
+        journal.append({"rec": "started", "job": "k1", "lane": 0})
+        journal.append({"rec": "done", "job": "k1", "summary": {}})
+        lines = journal.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["rec"] == "journal"
+        assert header["journal_version"] == JOURNAL_VERSION
+        assert header["store"] == journal.store_id()
+        replayed = _journal(tmp_path).replay()
+        assert [r["rec"] for r in replayed] == ["submitted", "started", "done"]
+        assert all(verify(r) for r in replayed)
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert _journal(tmp_path).replay() == []
+
+    def test_torn_tail_salvages_prefix(self, tmp_path):
+        """Power loss mid-append: the cut line is dropped, prefix kept."""
+        journal = _journal(tmp_path)
+        journal.append(_submitted("k1"))
+        journal.append({"rec": "started", "job": "k1", "lane": 0})
+        journal.append({"rec": "done", "job": "k1", "summary": {}})
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 7])
+
+        fresh = _journal(tmp_path)
+        replayed = fresh.replay()
+        assert [r["rec"] for r in replayed] == ["submitted", "started"]
+        assert fresh.salvaged == 2 and fresh.discarded == 1
+        assert "serve journal" in _reasons(tmp_path)
+        # The valid prefix was rewritten in place: the next boot replays
+        # it cleanly, with no second quarantine.
+        reasons_before = _reasons(tmp_path)
+        again = _journal(tmp_path).replay()
+        assert [r["rec"] for r in again] == ["submitted", "started"]
+        assert _reasons(tmp_path) == reasons_before
+
+    def test_bit_flip_ends_the_trusted_prefix(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.append(_submitted("k1"))
+        journal.append({"rec": "started", "job": "k1", "lane": 0})
+        journal.append({"rec": "done", "job": "k1", "summary": {}})
+        lines = journal.path.read_bytes().split(b"\n")
+        flipped = bytearray(lines[2])  # the "started" record
+        flipped[len(flipped) // 2] ^= 0x20
+        lines[2] = bytes(flipped)
+        journal.path.write_bytes(b"\n".join(lines))
+
+        replayed = _journal(tmp_path).replay()
+        # Everything from the damaged line on is untrusted, even the
+        # well-formed "done" record after it: ordering past the damage is
+        # unprovable.
+        assert [r["rec"] for r in replayed] == ["submitted"]
+        assert "serve journal" in _reasons(tmp_path)
+
+    def test_foreign_journal_quarantined_whole(self, tmp_path):
+        """A journal copied from another cache dir proves nothing here."""
+        journal_a = _journal(tmp_path / "a")
+        journal_a.append(_submitted("k1"))
+        journal_a.append({"rec": "done", "job": "k1", "summary": {}})
+        journal_b = _journal(tmp_path / "b")
+        assert journal_b.store_id() != journal_a.store_id()
+        journal_b.directory.mkdir(parents=True, exist_ok=True)
+        shutil.copy(journal_a.path, journal_b.path)
+
+        assert _journal(tmp_path / "b").replay() == []
+        assert "another store" in _reasons(tmp_path / "b")
+        assert not journal_b.path.exists()  # moved aside, not reused
+
+    def test_headerless_file_is_not_trusted(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.directory.mkdir(parents=True, exist_ok=True)
+        record = seal(_submitted("k1"))
+        journal.path.write_text(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        assert _journal(tmp_path).replay() == []
+        assert "missing journal header" in _reasons(tmp_path)
+
+
+class TestReduceCompact:
+    def test_reduce_follows_the_lifecycle(self):
+        records = [
+            _submitted("k1", ts=1.0),
+            {"rec": "started", "job": "k1", "lane": 0, "ts": 2.0},
+            {"rec": "done", "job": "k1", "summary": {"n": 2}, "ts": 3.0},
+            _submitted("k2", ts=4.0),
+            {"rec": "failed", "job": "k2", "error": "boom", "ts": 5.0},
+        ]
+        jobs = JobJournal.reduce(records)
+        assert jobs["k1"]["state"] == "done"
+        assert jobs["k1"]["summary"] == {"n": 2}
+        assert jobs["k2"]["state"] == "failed"
+        assert jobs["k2"]["error"] == "boom"
+
+    def test_resubmission_reopens_a_failed_job(self):
+        records = [
+            _submitted("k1", ts=1.0),
+            {"rec": "failed", "job": "k1", "error": "boom", "ts": 2.0},
+            _submitted("k1", ts=3.0),
+        ]
+        jobs = JobJournal.reduce(records)
+        assert jobs["k1"]["state"] == "queued"
+        assert jobs["k1"]["error"] is None
+
+    def test_orphan_transitions_are_skipped(self):
+        """A done record whose submission fell past the salvage prefix."""
+        records = [{"rec": "done", "job": "ghost", "summary": {}, "ts": 1.0}]
+        assert JobJournal.reduce(records) == {}
+
+    def test_submitted_never_demotes_active_state(self):
+        records = [
+            _submitted("k1", ts=1.0),
+            {"rec": "started", "job": "k1", "lane": 0, "ts": 2.0},
+            _submitted("k1", ts=3.0),  # duplicate client submission
+        ]
+        assert JobJournal.reduce(records)["k1"]["state"] == "running"
+
+    def test_compact_is_a_reduce_fixed_point(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.append(_submitted("k1", ts=1.0))
+        journal.append({"rec": "started", "job": "k1", "lane": 0, "ts": 2.0})
+        journal.append({"rec": "done", "job": "k1", "summary": {"n": 1},
+                        "ts": 3.0})
+        journal.append(_submitted("k2", ts=4.0))
+        jobs = JobJournal.reduce(journal.replay())
+        journal.compact(jobs)
+        # Compacted: header + (submitted, done) for k1 + submitted for k2.
+        assert len(journal.path.read_text().splitlines()) == 4
+        assert JobJournal.reduce(_journal(tmp_path).replay()) == jobs
