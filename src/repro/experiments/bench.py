@@ -42,18 +42,36 @@ DEFAULT_WORKLOAD = "UT2004/Primeval"
 
 
 def _run_pipeline(
-    name: str, vectorized: bool, frames: int, repeats: int = 1
-) -> dict:
+    name: str,
+    vectorized: bool,
+    frames: int,
+    repeats: int = 1,
+    fused: bool = False,
+    threads: int = 1,
+) -> tuple[dict, dict]:
     """Time one path; with ``repeats`` > 1, keep the fastest run.
 
     Minimum-of-N is the standard noise-robust estimator for a deterministic
     workload: every run does identical work, so the minimum is the run with
     the least scheduler/cache interference.
+
+    Returns ``(measurement, identity)`` where ``identity`` is the
+    path-independent result fingerprint (per-frame counters, cache
+    hit/miss/access triples, framebuffer digest) used to assert the
+    execution strategies are bit-identical before their timings are
+    compared.  Memory *byte* totals are deliberately absent: the fused
+    path samples z-block compressibility at chunk rather than draw
+    granularity (see :mod:`repro.gpu.fused`).
     """
+    import hashlib
+
     workload = build_workload(name, sim=False)
-    config = dataclasses.replace(GpuConfig.r520(), vectorized=vectorized)
+    config = dataclasses.replace(
+        GpuConfig.r520(), vectorized=vectorized, fused=fused, threads=threads
+    )
     seconds = float("inf")
     result = None
+    sim = None
     for _ in range(max(1, repeats)):
         sim = workload.simulator(config)
         trace = workload.trace(frames=frames)
@@ -61,8 +79,21 @@ def _run_pipeline(
         result = sim.run_trace(trace, max_frames=frames)
         seconds = min(seconds, time.perf_counter() - start)
     stats = result.stats
-    return {
-        "path": "quadstream" if vectorized else "per_triangle",
+    digest = hashlib.sha256()
+    digest.update(sim.fb.color.tobytes())
+    digest.update(sim.fb.z.tobytes())
+    digest.update(sim.fb.stencil.tobytes())
+    identity = {
+        "frame_stats": [fs.as_dict() for fs in result.frame_stats],
+        "caches": {
+            name: (cache.hits, cache.misses, cache.accesses)
+            for name, cache in sorted(result.caches.items())
+        },
+        "framebuffer": digest.hexdigest(),
+    }
+    path = "per_triangle" if not vectorized else ("fused" if fused else "quadstream")
+    measurement = {
+        "path": path,
         "seconds": round(seconds, 3),
         "frames": stats.frames,
         "triangles": stats.triangles_traversed,
@@ -70,6 +101,9 @@ def _run_pipeline(
         "triangles_per_s": round(stats.triangles_traversed / seconds, 1),
         "fragments_per_s": round(stats.fragments_rasterized / seconds, 1),
     }
+    if fused:
+        measurement["threads"] = threads
+    return measurement, identity
 
 
 def _median(values: list[float]) -> float:
@@ -78,6 +112,43 @@ def _median(values: list[float]) -> float:
     if len(ordered) % 2:
         return ordered[mid]
     return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _stage_self_times(tracer) -> dict:
+    """Per-stage self-time breakdown from one traced run's span buffer.
+
+    Self time is wall duration minus the summed durations of *direct*
+    children, so nested spans (run → frame → draw → stage) never double
+    count and the entries sum to the root's wall time.  Aggregated by span
+    name and reported with the share of the total traced time — the
+    profile the ``stages`` block of ``BENCH_pipeline.json`` publishes.
+    """
+    spans = tracer.spans
+    child_ns = [0] * len(spans)
+    for span in spans:
+        if span.parent >= 0 and span.t1 is not None:
+            child_ns[span.parent] += span.t1 - span.t0
+    totals: dict[str, dict] = {}
+    total_self_ns = 0
+    for index, span in enumerate(spans):
+        if span.t1 is None:
+            continue
+        self_ns = (span.t1 - span.t0) - child_ns[index]
+        entry = totals.setdefault(span.name, {"count": 0, "self_ns": 0})
+        entry["count"] += 1
+        entry["self_ns"] += self_ns
+        total_self_ns += self_ns
+    breakdown = {}
+    for name in sorted(totals, key=lambda n: -totals[n]["self_ns"]):
+        entry = totals[name]
+        breakdown[name] = {
+            "count": entry["count"],
+            "self_seconds": round(entry["self_ns"] / 1e9, 4),
+            "share_pct": round(
+                100.0 * entry["self_ns"] / total_self_ns, 1
+            ) if total_self_ns else 0.0,
+        }
+    return breakdown
 
 
 def _run_observed(name: str, frames: int, repeats: int = 1) -> dict:
@@ -127,6 +198,7 @@ def _run_observed(name: str, frames: int, repeats: int = 1) -> dict:
         "spans": spans,
         "overhead_pct": round(max(0.0, raw), 1),
         "overhead_pct_raw": round(raw, 1),
+        "stages": _stage_self_times(tracer),
     }
 
 
@@ -258,15 +330,28 @@ def bench_pipeline(
     repeats: int = 3,
     incremental_frames: int = 20,
     include_incremental: bool = True,
+    threads: int = 1,
 ) -> dict:
     """Run the measurements and return the ``BENCH_pipeline.json`` document."""
     if isinstance(jobs, int):
         jobs = (jobs,)
-    per_triangle = _run_pipeline(
+    per_triangle, reference_identity = _run_pipeline(
         workload, vectorized=False, frames=frames, repeats=repeats
     )
-    quadstream = _run_pipeline(
+    quadstream, stream_identity = _run_pipeline(
         workload, vectorized=True, frames=frames, repeats=repeats
+    )
+    fused, fused_identity = _run_pipeline(
+        workload,
+        vectorized=True,
+        frames=frames,
+        repeats=repeats,
+        fused=True,
+        threads=threads,
+    )
+    fused["identical"] = (
+        fused_identity == reference_identity
+        and stream_identity == reference_identity
     )
     doc = {
         "benchmark": "pipeline",
@@ -275,6 +360,7 @@ def bench_pipeline(
         "frames": frames,
         "per_triangle": per_triangle,
         "quadstream": quadstream,
+        "fused": fused,
         "speedup": {
             "triangles_per_s": round(
                 quadstream["triangles_per_s"] / per_triangle["triangles_per_s"], 2
@@ -282,9 +368,14 @@ def bench_pipeline(
             "fragments_per_s": round(
                 quadstream["fragments_per_s"] / per_triangle["fragments_per_s"], 2
             ),
+            "fused_fragments_per_s": round(
+                fused["fragments_per_s"] / per_triangle["fragments_per_s"], 2
+            ),
         },
     }
-    doc["observer"] = _run_observed(workload, frames=frames, repeats=repeats)
+    observer = _run_observed(workload, frames=frames, repeats=repeats)
+    doc["stages"] = observer.pop("stages")
+    doc["observer"] = observer
     if include_incremental:
         doc["incremental"] = _run_incremental(
             workload, incremental_frames, repeats=repeats

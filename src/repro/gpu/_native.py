@@ -36,6 +36,7 @@ import numpy as np
 _SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
+#include <stdlib.h>
 #include <string.h>
 
 typedef int64_t i64;
@@ -56,6 +57,11 @@ void lru_run(const i64 *stream, i64 n, int write_mode, const uint8_t *flags,
         i64 *L = lines + s * ways;
         uint8_t *D = dirty + s * ways;
         i64 size = sizes[s];
+        if (size > 0 && L[0] == line) {  /* MRU hit: the memmoves are no-ops */
+            hits++;
+            D[0] |= wr;
+            continue;
+        }
         i64 pos = -1;
         for (i64 i = 0; i < size; i++) {
             if (L[i] == line) { pos = i; break; }
@@ -97,57 +103,349 @@ static uint64_t part16(uint64_t x)
     return x;
 }
 
-/* Texture probe reference-stream generation: the whole per-draw loop of
-   TextureUnit._simulate_cache in one fused pass.  Emits the L0 block
-   address stream in the model's exact order — for each probe index p,
-   for each mip step, the -0.5 footprint corner of every lane taking that
-   (p, step), then the +0.5 corner.  All float arithmetic is plain IEEE
-   double in the exact numpy evaluation order (the build must not enable
-   contraction or fast-math), so addresses are bit-identical.
-   Per sample: t in [-0.5, 0.5) along the anisotropy axis, position
-   u + t*du; level = min(mip0 + step, max_level); texels wrap at the mip
-   extents; the 4x4 block index is Morton-coded. */
-void texstream(const double *u, const double *v,
-               const double *du, const double *dv,
-               const i64 *mip0, const i64 *probes, const i64 *mips, i64 n,
-               i64 max_probes, i64 max_level, i64 width, i64 height,
-               const i64 *mip_offsets, i64 n_offsets,
-               i64 base_address, i64 block_bytes,
-               i64 *out, i64 *out_count)
+/* One set-associative LRU access (Cache.access_line with a fixed write
+   flag), shared by the fused stage kernels.  Returns 1 on hit.  On a miss
+   the LRU victim of a full set is dropped; *evicted is set to its byte
+   address when it was dirty, else left untouched. */
+static int lru_touch(i64 line, int wr, i64 *lines, uint8_t *dirty,
+                     i64 *sizes, i64 nsets, i64 ways, i64 line_bytes,
+                     i64 *evicted)
 {
-    i64 pos = 0;
+    i64 s = nsets > 1 ? line % nsets : 0;
+    i64 *L = lines + s * ways;
+    uint8_t *D = dirty + s * ways;
+    i64 size = sizes[s];
+    if (size > 0 && L[0] == line) {      /* MRU hit: the memmoves are no-ops */
+        D[0] |= (uint8_t)wr;
+        return 1;
+    }
+    for (i64 i = 0; i < size; i++) {
+        if (L[i] == line) {
+            uint8_t d = D[i] | (uint8_t)wr;
+            memmove(L + 1, L, i * sizeof(i64));
+            memmove(D + 1, D, i * sizeof(uint8_t));
+            L[0] = line;
+            D[0] = d;
+            return 1;
+        }
+    }
+    if (size >= ways) {
+        if (D[size - 1]) *evicted = L[size - 1] * line_bytes;
+        size--;
+    }
+    memmove(L + 1, L, size * sizeof(i64));
+    memmove(D + 1, D, size * sizeof(uint8_t));
+    L[0] = line;
+    D[0] = (uint8_t)wr;
+    sizes[s] = size + 1;
+    return 0;
+}
+
+/* Stamp-based LRU mirror for the fused texture walk below.  The reference
+   model keeps each set's lines MRU-first and memmoves on every touch —
+   O(ways) per access, which dominates once a frame issues tens of
+   millions of texture probes.  The mirror stores a monotonically
+   increasing recency stamp per way instead and finds lines through an
+   open-addressing hash (multiplicative hashing, linear probing,
+   backshift deletion), making a hit O(1).  Stamps are a total order over
+   touches, so "evict the minimum stamp in the set" is exactly the
+   reference's evict-the-tail, and sorting a set's ways by descending
+   stamp rebuilds the reference's MRU-first export layout bit for bit.
+   Texture streams never write, so the dirty array is never touched and
+   (being all-clear for a read-only cache) needs no reordering. */
+enum { TC_SLOTS = 4096, TC_HASH = 16384 };
+
+typedef struct {
+    i64 *wline;        /* line per way slot, nsets*ways */
+    uint64_t *wstamp;  /* recency stamp per way slot */
+    i64 *sizes;        /* per-set fill counts (the caller's array, in place) */
+    i64 *hkey;         /* open-addressing hash: line -> way slot */
+    int32_t *hval;
+    i64 hmask;
+    i64 nsets, ways;
+    uint64_t ctr;
+} stampcache;
+
+static inline i64 tc_hash(const stampcache *C, i64 line)
+{
+    return (i64)(((uint64_t)line * 0x9E3779B97F4A7C15ull) >> 32) & C->hmask;
+}
+
+static void tc_init(stampcache *C, i64 *wline, uint64_t *wstamp,
+                    i64 *hkey, int32_t *hval, i64 hcap,
+                    const i64 *lines, i64 *sizes, i64 nsets, i64 ways)
+{
+    C->wline = wline;
+    C->wstamp = wstamp;
+    C->sizes = sizes;
+    C->hkey = hkey;
+    C->hval = hval;
+    C->hmask = hcap - 1;
+    C->nsets = nsets;
+    C->ways = ways;
+    /* Initial stamps are 1..size per set (MRU-first input, index 0 is the
+       newest); starting the counter at ways keeps every future touch
+       strictly newer than every imported line. */
+    C->ctr = (uint64_t)ways;
+    for (i64 i = 0; i < hcap; i++) hkey[i] = -1;
+    for (i64 s = 0; s < nsets; s++) {
+        i64 size = sizes[s];
+        for (i64 i = 0; i < size; i++) {
+            i64 slot = s * ways + i;
+            i64 line = lines[slot];
+            wline[slot] = line;
+            wstamp[slot] = (uint64_t)(size - i);
+            i64 h = tc_hash(C, line);
+            while (hkey[h] != -1) h = (h + 1) & C->hmask;
+            hkey[h] = line;
+            hval[h] = (int32_t)slot;
+        }
+    }
+}
+
+static void tc_hdel(stampcache *C, i64 line)
+{
+    i64 mask = C->hmask;
+    i64 pos = tc_hash(C, line);
+    while (C->hkey[pos] != line) pos = (pos + 1) & mask;
+    i64 hole = pos;
+    i64 j = (pos + 1) & mask;
+    while (C->hkey[j] != -1) {          /* backshift deletion */
+        i64 home = tc_hash(C, C->hkey[j]);
+        if (((j - home) & mask) >= ((j - hole) & mask)) {
+            C->hkey[hole] = C->hkey[j];
+            C->hval[hole] = C->hval[j];
+            hole = j;
+        }
+        j = (j + 1) & mask;
+    }
+    C->hkey[hole] = -1;
+}
+
+/* One read access; returns 1 on hit.  Mirrors lru_touch for a
+   never-written stream: dirty state cannot change and evictions never
+   write back. */
+static int tc_access(stampcache *C, i64 line)
+{
+    i64 mask = C->hmask;
+    i64 h = tc_hash(C, line);
+    while (C->hkey[h] != -1) {
+        if (C->hkey[h] == line) {
+            C->wstamp[C->hval[h]] = ++C->ctr;
+            return 1;
+        }
+        h = (h + 1) & mask;
+    }
+    i64 s = C->nsets > 1 ? line % C->nsets : 0;
+    i64 base = s * C->ways;
+    i64 slot;
+    if (C->sizes[s] < C->ways) {
+        slot = base + C->sizes[s]++;
+    } else {
+        slot = base;
+        uint64_t mn = C->wstamp[base];
+        for (i64 i = 1; i < C->ways; i++)
+            if (C->wstamp[base + i] < mn) {
+                mn = C->wstamp[base + i];
+                slot = base + i;
+            }
+        tc_hdel(C, C->wline[slot]);
+        h = tc_hash(C, line);           /* the hole may have moved */
+        while (C->hkey[h] != -1) h = (h + 1) & mask;
+    }
+    C->hkey[h] = line;
+    C->hval[h] = (int32_t)slot;
+    C->wline[slot] = line;
+    C->wstamp[slot] = ++C->ctr;
+    return 0;
+}
+
+/* Write the mirror back as the reference's MRU-first per-set layout. */
+static void tc_export(stampcache *C, i64 *lines)
+{
+    for (i64 s = 0; s < C->nsets; s++) {
+        i64 base = s * C->ways, size = C->sizes[s];
+        for (i64 i = 0; i < size; i++) {   /* selection sort; ways are small */
+            i64 best = i;
+            for (i64 j = i + 1; j < size; j++)
+                if (C->wstamp[base + j] > C->wstamp[base + best]) best = j;
+            if (best != i) {
+                i64 tl = C->wline[base + i];
+                uint64_t ts = C->wstamp[base + i];
+                C->wline[base + i] = C->wline[base + best];
+                C->wstamp[base + i] = C->wstamp[base + best];
+                C->wline[base + best] = tl;
+                C->wstamp[base + best] = ts;
+            }
+            lines[base + i] = C->wline[base + i];
+        }
+    }
+}
+
+/* Fused texture-request pass: the whole per-draw loop of
+   TextureUnit._simulate_cache — probe-address generation, the L0 LRU walk,
+   and the L1 walk of the L0 miss stream — in one call with no
+   materialized address stream.  Addresses are emitted in the model's
+   exact order: for each probe index p, for each mip step, the -0.5
+   footprint corner of every lane taking that (p, step), then the +0.5
+   corner.  All float arithmetic is plain IEEE double in the exact numpy
+   evaluation order (the build must not enable contraction or fast-math),
+   so addresses are bit-identical.  Per sample: t in [-0.5, 0.5) along the
+   anisotropy axis, position u + t*du; level = min(mip0 + step, max_level);
+   texels wrap at the mip extents; the 4x4 block index is Morton-coded.
+   The collapse passes Cache.access_stream applies first (duplicate-run
+   and period-2 alternation folding) are exact no-ops on hit/miss totals
+   and LRU state, so the raw inline walk reproduces their counters bit for
+   bit; interleaving each L0 miss's L1 access into the walk is equally
+   neutral because the two caches share no state.  Texture streams never
+   write, so dirty evictions cannot occur — which is what lets both walks
+   run on the stamp-based LRU mirror above (imported up front, exported
+   back to MRU-first order at the end) instead of the memmove list.
+   bucket is caller scratch of at least sum(probes) entries: lanes are
+   bucketed per probe index up front (ascending lane order within each
+   bucket) so the sweep never scans lanes that emit nothing.
+   counts: emitted, l0 hits, l0 misses, l1 hits, l1 misses; counts[0] = -1
+   means max_probes or a cache geometry exceeded the kernel bounds and
+   nothing was touched. */
+void texcache(const double *u, const double *v,
+              const double *du, const double *dv,
+              const i64 *mip0, const i64 *probes, const i64 *mips, i64 n,
+              i64 max_probes, i64 max_level, i64 width, i64 height,
+              const i64 *mip_offsets, i64 n_offsets,
+              i64 base_address, i64 block_bytes,
+              i64 *bucket,
+              i64 *l0_lines, uint8_t *l0_dirty, i64 *l0_sizes,
+              i64 l0_nsets, i64 l0_ways,
+              i64 *l1_lines, uint8_t *l1_dirty, i64 *l1_sizes,
+              i64 l1_nsets, i64 l1_ways,
+              i64 l1_line_bytes,
+              i64 *counts)
+{
+    enum { MAXP = 64 };
+    i64 bcount[MAXP], boff[MAXP + 1], cur[MAXP];
+    i64 l0_slots = l0_nsets * l0_ways, l1_slots = l1_nsets * l1_ways;
+    if (max_probes > MAXP || l0_slots > TC_SLOTS || l1_slots > TC_SLOTS) {
+        counts[0] = -1;
+        return;
+    }
+    (void)l0_dirty;
+    (void)l1_dirty;
+    i64 wline0[TC_SLOTS], wline1[TC_SLOTS];
+    uint64_t wstamp0[TC_SLOTS], wstamp1[TC_SLOTS];
+    i64 hkey0[TC_HASH], hkey1[TC_HASH];
+    int32_t hval0[TC_HASH], hval1[TC_HASH];
+    i64 hcap0 = 64, hcap1 = 64;
+    while (hcap0 < 4 * l0_slots) hcap0 <<= 1;
+    while (hcap1 < 4 * l1_slots) hcap1 <<= 1;
+    /* Hoisted per-(lane, step) mip constants — lvl, pitch and extents
+       depend only on the lane's base level and the step, not on the probe
+       or corner, so computing them per emission wastes most of the walk.
+       hoff folds base_address + mip_offsets[oi] into one addend.  hinv
+       and hhp (0.5 * pitch; the - corner negates it, which is exact) feed
+       the identical float expressions, so addresses are unchanged. */
+    double *scratch = malloc((size_t)n * 6 * sizeof(double));
+    if (scratch == NULL) { counts[0] = -1; return; }
+    double *hinv = scratch;            /* n*2 */
+    double *hhp = scratch + n * 2;     /* n*2 */
+    double *tpu = scratch + n * 4;     /* n: per-probe sample u */
+    double *tpv = scratch + n * 5;     /* n: per-probe sample v */
+    i64 *iscratch = malloc((size_t)n * 6 * sizeof(i64));
+    if (iscratch == NULL) { free(scratch); counts[0] = -1; return; }
+    i64 *hw = iscratch;                /* n*2 */
+    i64 *hh = iscratch + n * 2;        /* n*2 */
+    i64 *hoff = iscratch + n * 4;      /* n*2 */
+    for (i64 i = 0; i < n; i++) {
+        for (i64 step = 0; step < 2 && step < mips[i]; step++) {
+            i64 lvl = mip0[i] + step;
+            if (lvl > max_level) lvl = max_level;
+            i64 cl = lvl > 30 ? 30 : lvl;
+            double pitch = ldexp(1.0, (int)lvl);
+            i64 w = width >> cl; if (w < 1) w = 1;
+            i64 h = height >> cl; if (h < 1) h = 1;
+            i64 oi = lvl < n_offsets - 1 ? lvl : n_offsets - 1;
+            hinv[i * 2 + step] = 1.0 / pitch;
+            hhp[i * 2 + step] = 0.5 * pitch;
+            hw[i * 2 + step] = w;
+            hh[i * 2 + step] = h;
+            hoff[i * 2 + step] = base_address + mip_offsets[oi];
+        }
+    }
+    /* addr / block_bytes is a shift when block_bytes is a power of two
+       (addresses are nonnegative, so the shift is the exact quotient). */
+    i64 bshift = -1;
+    if (block_bytes > 0 && (block_bytes & (block_bytes - 1)) == 0) {
+        bshift = 0;
+        while ((i64)1 << bshift != block_bytes) bshift++;
+    }
+    stampcache C0, C1;
+    tc_init(&C0, wline0, wstamp0, hkey0, hval0, hcap0,
+            l0_lines, l0_sizes, l0_nsets, l0_ways);
+    tc_init(&C1, wline1, wstamp1, hkey1, hval1, hcap1,
+            l1_lines, l1_sizes, l1_nsets, l1_ways);
+    for (i64 p = 0; p < max_probes; p++) bcount[p] = 0;
+    for (i64 i = 0; i < n; i++)
+        for (i64 p = 0; p < probes[i]; p++) bcount[p]++;
+    boff[0] = 0;
+    for (i64 p = 0; p < max_probes; p++) boff[p + 1] = boff[p] + bcount[p];
+    for (i64 p = 0; p < max_probes; p++) cur[p] = boff[p];
+    for (i64 i = 0; i < n; i++)
+        for (i64 p = 0; p < probes[i]; p++) bucket[cur[p]++] = i;
+    i64 emitted = 0, l0h = 0, l0m = 0, l1h = 0, l1m = 0;
     for (i64 p = 0; p < max_probes; p++) {
+        const i64 *B = bucket + boff[p];
+        i64 bn = bcount[p];
+        /* The sample position depends on (probe, lane) only — compute it
+           once per probe instead of once per (step, corner) emission. */
+        for (i64 k = 0; k < bn; k++) {
+            i64 i = B[k];
+            double t = ((double)p + 0.5) / (double)probes[i] - 0.5;
+            tpu[i] = u[i] + t * du[i];
+            tpv[i] = v[i] + t * dv[i];
+        }
         for (i64 step = 0; step < 2; step++) {
             for (int c = 0; c < 2; c++) {
-                for (i64 i = 0; i < n; i++) {
-                    if (probes[i] <= p || mips[i] <= step) continue;
-                    double t = ((double)p + 0.5) / (double)probes[i] - 0.5;
-                    double pu = u[i] + t * du[i];
-                    double pv = v[i] + t * dv[i];
-                    i64 lvl = mip0[i] + step;
-                    if (lvl > max_level) lvl = max_level;
-                    i64 cl = lvl > 30 ? 30 : lvl;
-                    double pitch = ldexp(1.0, (int)lvl);
-                    double inv = 1.0 / pitch;
-                    double cu = c ? 0.5 * pitch : -0.5 * pitch;
-                    i64 w = width >> cl; if (w < 1) w = 1;
-                    i64 h = height >> cl; if (h < 1) h = 1;
-                    i64 oi = lvl < n_offsets - 1 ? lvl : n_offsets - 1;
-                    i64 tx = (i64)floor((pu + cu) * inv);
-                    i64 ty = (i64)floor((pv + cu) * inv);
+                for (i64 k = 0; k < bn; k++) {
+                    i64 i = B[k];
+                    if (mips[i] <= step) continue;
+                    i64 is = i * 2 + step;
+                    double inv = hinv[is];
+                    double cu = c ? hhp[is] : -hhp[is];
+                    i64 w = hw[is], h = hh[is];
+                    i64 tx = (i64)floor((tpu[i] + cu) * inv);
+                    i64 ty = (i64)floor((tpv[i] + cu) * inv);
                     if ((w & (w - 1)) == 0) { tx &= w - 1; }
                     else { tx %= w; if (tx < 0) tx += w; }
                     if ((h & (h - 1)) == 0) { ty &= h - 1; }
                     else { ty %= h; if (ty < 0) ty += h; }
                     uint64_t m = part16((uint64_t)(tx >> 2))
                                | (part16((uint64_t)(ty >> 2)) << 1);
-                    out[pos++] = base_address + mip_offsets[oi]
-                               + (i64)m * block_bytes;
+                    i64 addr = hoff[is] + (i64)m * block_bytes;
+                    i64 l0_line = bshift >= 0 ? addr >> bshift
+                                              : addr / block_bytes;
+                    emitted++;
+                    if (tc_access(&C0, l0_line)) {
+                        l0h++;
+                    } else {
+                        l0m++;
+                        i64 l1_line = (l0_line * block_bytes) / l1_line_bytes;
+                        if (tc_access(&C1, l1_line))
+                            l1h++;
+                        else
+                            l1m++;
+                    }
                 }
             }
         }
     }
-    *out_count = pos;
+    free(scratch);
+    free(iscratch);
+    tc_export(&C0, l0_lines);
+    tc_export(&C1, l1_lines);
+    counts[0] = emitted;
+    counts[1] = l0h;
+    counts[2] = l0m;
+    counts[3] = l1h;
+    counts[4] = l1m;
 }
 
 /* Edge evaluation + coverage for candidate quads (the hot first half of
@@ -325,6 +623,386 @@ void bilinear(const float *mip, i64 h, i64 w, i64 nc,
         }
     }
 }
+
+/* Multi-level bilinear fetch: TextureUnit._bilinear's per-unique-level
+   loop in one pass over a flattened mip chain.  flat holds every RGBA
+   float32 mip concatenated; offs[l]/hs[l]/ws[l] give mip l's texel offset
+   and extents.  Each lane's math is the bilinear kernel above verbatim
+   (lanes are independent, so fusing the levels changes nothing). */
+void bilinear_levels(const float *flat, const i64 *offs,
+                     const i64 *hs, const i64 *ws, i64 nlevels,
+                     const double *u, const double *v,
+                     const i64 *mip0, i64 n, float *out)
+{
+    for (i64 i = 0; i < n; i++) {
+        i64 level = mip0[i];
+        if (level < 0) level = 0;
+        if (level >= nlevels) level = nlevels - 1;
+        const float *mip = flat + offs[level] * 4;
+        i64 h = hs[level], w = ws[level];
+        double scale = ldexp(1.0, (int)level);
+        double mu = u[i] / scale - 0.5;
+        double mv = v[i] / scale - 0.5;
+        double x0 = floor(mu), y0 = floor(mv);
+        double fx = mu - x0, fy = mv - y0;
+        double gx = 1.0 - fx, gy = 1.0 - fy;
+        i64 xi = (i64)x0, yi = (i64)y0;
+        i64 x0w = xi % w; if (x0w < 0) x0w += w;
+        i64 x1w = (xi + 1) % w; if (x1w < 0) x1w += w;
+        i64 y0w = yi % h; if (y0w < 0) y0w += h;
+        i64 y1w = (yi + 1) % h; if (y1w < 0) y1w += h;
+        const float *p00 = mip + (y0w * w + x0w) * 4;
+        const float *p10 = mip + (y0w * w + x1w) * 4;
+        const float *p01 = mip + (y1w * w + x0w) * 4;
+        const float *p11 = mip + (y1w * w + x1w) * 4;
+        for (i64 ch = 0; ch < 4; ch++) {
+            double a = ((double)p00[ch] * gx) * gy;
+            double b = ((double)p10[ch] * fx) * gy;
+            double cc = ((double)p01[ch] * gx) * fy;
+            double d = ((double)p11[ch] * fx) * fy;
+            out[i * 4 + ch] = (float)(((a + b) + cc) + d);
+        }
+    }
+}
+
+/* Fused color stage over a shaded stream's per-triangle groups:
+   ColorStage.process called once per group, in one pass.  Per group, in
+   order: skip entirely when no lane is live (process's write_mask.any()
+   gate — no blending, no accounting); blend live lanes into the color
+   plane in flattened lane order (replace = last write wins; add =
+   accumulate all, then clip touched pixels — the clip keeps -0.0 and NaN
+   like np.clip; modulate = sequential multiply, no clip; alpha =
+   sequential a*src + (1-a)*dst per lane); then run every quad of the
+   group through the color cache (write=true).  Miss fill bytes read the
+   block state inline — states mutate only at group end, so this matches
+   the batched path's read-after-walk.  Dirty evictions are deferred to
+   the group end (an evicted line can re-miss within the same group and
+   must still see the pre-group state), then each one probes block
+   uniformity from the settled color plane, adds half or full line bytes,
+   and sets the block state, in eviction order.  escratch is caller
+   scratch of at least nquads entries.  xs/ys lane 0 of a quad is exactly
+   (2*qx, 2*qy), which the block coordinates derive from.
+   counts: accesses, hits, misses, read bytes, write bytes. */
+void colorpass(const i64 *xs, const i64 *ys, const double *colors,
+               const uint8_t *live, i64 nquads,
+               const i64 *starts, const i64 *ends, i64 ngroups,
+               i64 blend_mode,
+               double *fbcolor, i64 cw,
+               uint8_t *block_state, i64 block, i64 blocks_x,
+               i64 *c_lines, uint8_t *c_dirty, i64 *c_sizes,
+               i64 nsets, i64 ways, i64 line_bytes,
+               i64 compression, i64 fast_clear,
+               i64 *escratch, i64 *counts)
+{
+    const double thresh = 0.5 / 255.0;
+    i64 acc = 0, hits = 0, misses = 0, rbytes = 0, wbytes = 0;
+    for (i64 g = 0; g < ngroups; g++) {
+        i64 s = starts[g], e = ends[g];
+        int any = 0;
+        for (i64 q = s; q < e && !any; q++)
+            for (int l = 0; l < 4; l++)
+                if (live[q * 4 + l]) { any = 1; break; }
+        if (!any) continue;
+        if (blend_mode == 0) {           /* replace */
+            for (i64 q = s; q < e; q++)
+                for (int l = 0; l < 4; l++) {
+                    if (!live[q * 4 + l]) continue;
+                    double *dst = fbcolor
+                        + (ys[q * 4 + l] * cw + xs[q * 4 + l]) * 4;
+                    const double *src = colors + (q * 4 + l) * 4;
+                    for (int ch = 0; ch < 4; ch++) dst[ch] = src[ch];
+                }
+        } else if (blend_mode == 1) {    /* add: accumulate, then clip */
+            for (i64 q = s; q < e; q++)
+                for (int l = 0; l < 4; l++) {
+                    if (!live[q * 4 + l]) continue;
+                    double *dst = fbcolor
+                        + (ys[q * 4 + l] * cw + xs[q * 4 + l]) * 4;
+                    const double *src = colors + (q * 4 + l) * 4;
+                    for (int ch = 0; ch < 4; ch++)
+                        dst[ch] = dst[ch] + src[ch];
+                }
+            for (i64 q = s; q < e; q++)
+                for (int l = 0; l < 4; l++) {
+                    if (!live[q * 4 + l]) continue;
+                    double *dst = fbcolor
+                        + (ys[q * 4 + l] * cw + xs[q * 4 + l]) * 4;
+                    for (int ch = 0; ch < 4; ch++) {
+                        double vv = dst[ch];
+                        if (vv < 0.0) vv = 0.0;
+                        else if (vv > 1.0) vv = 1.0;
+                        dst[ch] = vv;
+                    }
+                }
+        } else if (blend_mode == 2) {    /* modulate */
+            for (i64 q = s; q < e; q++)
+                for (int l = 0; l < 4; l++) {
+                    if (!live[q * 4 + l]) continue;
+                    double *dst = fbcolor
+                        + (ys[q * 4 + l] * cw + xs[q * 4 + l]) * 4;
+                    const double *src = colors + (q * 4 + l) * 4;
+                    for (int ch = 0; ch < 4; ch++)
+                        dst[ch] = dst[ch] * src[ch];
+                }
+        } else {                         /* alpha */
+            for (i64 q = s; q < e; q++)
+                for (int l = 0; l < 4; l++) {
+                    if (!live[q * 4 + l]) continue;
+                    double *dst = fbcolor
+                        + (ys[q * 4 + l] * cw + xs[q * 4 + l]) * 4;
+                    const double *src = colors + (q * 4 + l) * 4;
+                    double a = src[3];
+                    for (int ch = 0; ch < 4; ch++) {
+                        double na = a * src[ch];
+                        double nb = (1.0 - a) * dst[ch];
+                        dst[ch] = na + nb;
+                    }
+                }
+        }
+        i64 ne = 0;
+        for (i64 q = s; q < e; q++) {
+            i64 bx = xs[q * 4] / block;
+            i64 by = ys[q * 4] / block;
+            i64 line = by * blocks_x + bx;
+            i64 evicted = -1;
+            acc++;
+            if (lru_touch(line, 1, c_lines, c_dirty, c_sizes,
+                          nsets, ways, line_bytes, &evicted)) {
+                hits++;
+            } else {
+                misses++;
+                uint8_t st = block_state[line];
+                i64 nb = line_bytes;
+                if (compression && st == 1) nb = line_bytes / 2;  /* COMPRESSED */
+                if (fast_clear && st == 0) nb = 0;                /* CLEARED */
+                rbytes += nb;
+            }
+            if (evicted >= 0) escratch[ne++] = evicted / line_bytes;
+        }
+        for (i64 k = 0; k < ne; k++) {
+            i64 line = escratch[k];
+            i64 bx = line % blocks_x, by = line / blocks_x;
+            uint8_t uni = 0;
+            if (compression) {
+                const double *base = fbcolor
+                    + (by * block * cw + bx * block) * 4;
+                double c0[4];
+                for (int ch = 0; ch < 4; ch++) {
+                    double vv = base[ch];
+                    if (vv < 0.0) vv = 0.0; else if (vv > 1.0) vv = 1.0;
+                    c0[ch] = vv;
+                }
+                uni = 1;
+                for (i64 r = 0; r < block && uni; r++) {
+                    const double *row = base + r * cw * 4;
+                    for (i64 c = 0; c < block * 4; c++) {
+                        double vv = row[c];
+                        if (vv < 0.0) vv = 0.0; else if (vv > 1.0) vv = 1.0;
+                        double d = fabs(vv - c0[c & 3]);
+                        if (!(d < thresh)) { uni = 0; break; }
+                    }
+                }
+            }
+            wbytes += uni ? line_bytes / 2 : line_bytes;
+            block_state[line] = uni ? 1 : 2;  /* COMPRESSED : UNCOMPRESSED */
+        }
+    }
+    counts[0] = acc;
+    counts[1] = hits;
+    counts[2] = misses;
+    counts[3] = rbytes;
+    counts[4] = wbytes;
+}
+
+/* Fused early-Z pass over a frame arena chunk: HZ cull, Z/stencil
+   test-and-write, and HZ/stencil-band refresh for every (segment,
+   triangle) group of the quads listed in idx, in one sequential walk.
+   This is the per-triangle reference schedule (cull the triangle's quads
+   against the frozen HZ state, test and write each quad's lanes
+   sequentially, then refresh the touched blocks' stencil bands and — when
+   the segment writes depth — HZ extents), so every per-block operation
+   sequence matches ZStencilStage.process exactly.  Block refreshes are
+   idempotent full-tile recomputes; duplicates are skipped only when
+   consecutive.  Depth and stencil semantics mirror zstencil.py: depth
+   funcs never/less/lequal/equal(|dz| <= 1e-7)/always (NaN fails every
+   comparison); stencil funcs always/never/equal/notequal against the
+   original stencil value; ops keep/zero/replace/incr_wrap/decr_wrap with
+   numpy's nonnegative modulo; only changed stencil lanes store.  A quad
+   counts as wrote when any stencil lane changed or any lane passed a
+   depth-writing test (even writing an equal z), exactly like test_write.
+   idx lists arena quad indices in stream order — the caller may pass a
+   screen-space tile's subset; quads never span blocks and tiles never
+   split blocks, so per-tile walks are independent and bit-identical to
+   the single walk.  params is 16 i64 per segment: depth_test, depth_func,
+   depth_write, stencil_test, stencil_func, stencil_ref, stencil_write,
+   front sfail/zfail/zpass, back sfail/zfail/zpass, hz_on, hz_minmax,
+   hz_stencil.  Outputs (pass_mask/entered/wrote/schanged zeroed by the
+   caller) are indexed by arena quad; seg_counts is 4 i64 per segment:
+   hz-culled quads, fragments tested, quads tested, complete quads. */
+void zpass(const i64 *idx, i64 nidx,
+           const i64 *seg_of, const i64 *tri,
+           const i64 *qx, const i64 *qy, const uint8_t *cover,
+           const double *z, const uint8_t *front,
+           const i64 *params,
+           double *fbz, i64 zw,
+           void *stencil_v,
+           double *hz_max, double *hz_min,
+           void *hzs_min_v, void *hzs_max_v,
+           i64 block, i64 blocks_x,
+           uint8_t *pass_mask, uint8_t *entered, uint8_t *wrote,
+           uint8_t *schanged, i64 *seg_counts)
+{
+    static const i64 DX[4] = {0, 1, 0, 1};
+    static const i64 DY[4] = {0, 0, 1, 1};
+    int16_t *stencil = (int16_t *)stencil_v;
+    int16_t *hzs_min = (int16_t *)hzs_min_v;
+    int16_t *hzs_max = (int16_t *)hzs_max_v;
+    i64 g0 = 0;
+    while (g0 < nidx) {
+        i64 s = seg_of[idx[g0]];
+        i64 t = tri[idx[g0]];
+        i64 g1 = g0;
+        while (g1 < nidx && seg_of[idx[g1]] == s && tri[idx[g1]] == t) g1++;
+        const i64 *P = params + s * 16;
+        i64 depth_test = P[0], dfunc = P[1], depth_write = P[2];
+        i64 stencil_test = P[3], sfunc = P[4], sref = P[5];
+        i64 stencil_write = P[6];
+        i64 hz_on = P[13], hz_minmax = P[14], hz_stencil = P[15];
+        i64 *SC = seg_counts + s * 4;
+        for (i64 k = g0; k < g1; k++) {
+            i64 q = idx[k];
+            const uint8_t *cov = cover + q * 4;
+            const double *zq = z + q * 4;
+            i64 bx = qx[q] * 2 / block, by = qy[q] * 2 / block;
+            i64 b = by * blocks_x + bx;
+            if (hz_on) {
+                int culled;
+                double zmin = INFINITY;
+                for (int l = 0; l < 4; l++) {
+                    double v = cov[l] ? zq[l] : INFINITY;
+                    if (v < zmin || v != v) zmin = v;
+                }
+                if (hz_minmax) {
+                    double zmax = -INFINITY;
+                    for (int l = 0; l < 4; l++) {
+                        double v = cov[l] ? zq[l] : -INFINITY;
+                        if (v > zmax || v != v) zmax = v;
+                    }
+                    culled = (zmin > hz_max[b]) || (zmax < hz_min[b]);
+                } else {
+                    culled = zmin > hz_max[b];
+                }
+                if (!culled && hz_stencil) {
+                    int16_t smn = hzs_min[b], smx = hzs_max[b];
+                    if (sfunc == 2)
+                        culled = (sref < (i64)smn) || (sref > (i64)smx);
+                    else if (sfunc == 3)
+                        culled = ((i64)smn == sref) && ((i64)smx == sref);
+                }
+                if (culled) { SC[0]++; continue; }
+            }
+            entered[q] = 1;
+            i64 op_sfail = front[q] ? P[7] : P[10];
+            i64 op_zfail = front[q] ? P[8] : P[11];
+            i64 op_zpass = front[q] ? P[9] : P[12];
+            int changed_any = 0, zwrote_any = 0;
+            i64 frag = 0;
+            int all4 = 1;
+            for (int l = 0; l < 4; l++) {
+                uint8_t al = cov[l];
+                if (al) frag++; else all4 = 0;
+                i64 pix = (qy[q] * 2 + DY[l]) * zw + qx[q] * 2 + DX[l];
+                double cur_z = fbz[pix];
+                int16_t cur_s = stencil[pix];
+                int zp;
+                if (!depth_test) zp = 1;
+                else if (dfunc == 1) zp = zq[l] < cur_z;
+                else if (dfunc == 2) zp = zq[l] <= cur_z;
+                else if (dfunc == 3) zp = fabs(zq[l] - cur_z) <= 1e-7;
+                else zp = dfunc == 4;
+                int sp;
+                if (!stencil_test) sp = 1;
+                else if (sfunc == 0) sp = 1;
+                else if (sfunc == 2) sp = (i64)cur_s == sref;
+                else if (sfunc == 3) sp = (i64)cur_s != sref;
+                else sp = 0;
+                int passed = al && zp && sp;
+                pass_mask[q * 4 + l] = (uint8_t)passed;
+                if (stencil_test && stencil_write && al) {
+                    i64 op = !sp ? op_sfail : (!zp ? op_zfail : op_zpass);
+                    if (op != 0) {
+                        i64 ns;
+                        if (op == 1) ns = 0;
+                        else if (op == 2) ns = sref;
+                        else if (op == 3) ns = ((cur_s + 1) % 256 + 256) % 256;
+                        else ns = ((cur_s - 1) % 256 + 256) % 256;
+                        if ((int16_t)ns != cur_s) {
+                            stencil[pix] = (int16_t)ns;
+                            changed_any = 1;
+                        }
+                    }
+                }
+                if (depth_test && depth_write && passed) {
+                    fbz[pix] = zq[l];
+                    zwrote_any = 1;
+                }
+            }
+            SC[1] += frag;
+            SC[2]++;
+            SC[3] += all4;
+            if (changed_any) schanged[q] = 1;
+            if (changed_any || zwrote_any) wrote[q] = 1;
+        }
+        /* Band/HZ refresh after the whole triangle, in the reference
+           order: stencil bands of changed blocks first, then (when the
+           segment writes depth) HZ extents of every written block. */
+        i64 prev_b = -1;
+        for (i64 k = g0; k < g1; k++) {
+            i64 q = idx[k];
+            if (!schanged[q]) continue;
+            i64 b = (qy[q] * 2 / block) * blocks_x + qx[q] * 2 / block;
+            if (b == prev_b) continue;
+            prev_b = b;
+            const int16_t *sb = stencil
+                + (b / blocks_x) * block * zw + (b % blocks_x) * block;
+            int16_t mn = sb[0], mx = sb[0];
+            for (i64 r = 0; r < block; r++) {
+                const int16_t *row = sb + r * zw;
+                for (i64 c = 0; c < block; c++) {
+                    int16_t v = row[c];
+                    if (v < mn) mn = v;
+                    if (v > mx) mx = v;
+                }
+            }
+            hzs_min[b] = mn;
+            hzs_max[b] = mx;
+        }
+        if (depth_write) {
+            prev_b = -1;
+            for (i64 k = g0; k < g1; k++) {
+                i64 q = idx[k];
+                if (!wrote[q]) continue;
+                i64 b = (qy[q] * 2 / block) * blocks_x + qx[q] * 2 / block;
+                if (b == prev_b) continue;
+                prev_b = b;
+                const double *zb = fbz
+                    + (b / blocks_x) * block * zw + (b % blocks_x) * block;
+                double mx = zb[0], mn = zb[0];
+                for (i64 r = 0; r < block; r++) {
+                    const double *row = zb + r * zw;
+                    for (i64 c = 0; c < block; c++) {
+                        double v = row[c];
+                        if (v > mx || v != v) mx = v;
+                        if (v < mn || v != v) mn = v;
+                    }
+                }
+                hz_max[b] = mx;
+                hz_min[b] = mn;
+            }
+        }
+        g0 = g1;
+    }
+}
 """
 
 _lib: ctypes.CDLL | None = None
@@ -346,6 +1024,15 @@ def _cache_dirs() -> list[pathlib.Path]:
     return dirs
 
 
+def _source_digest() -> str:
+    """Full SHA-256 of the C source — the binary cache key."""
+    return hashlib.sha256(_SOURCE.encode()).hexdigest()
+
+
+def _sidecar(so_path: pathlib.Path) -> pathlib.Path:
+    return so_path.with_name(so_path.name + ".sha256")
+
+
 def _compile(so_path: pathlib.Path) -> bool:
     cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if cc is None:
@@ -353,9 +1040,9 @@ def _compile(so_path: pathlib.Path) -> bool:
     try:
         so_path.parent.mkdir(parents=True, exist_ok=True)
         with tempfile.TemporaryDirectory(dir=so_path.parent) as tmp:
-            src = pathlib.Path(tmp) / "lru.c"
+            src = pathlib.Path(tmp) / "kernels.c"
             src.write_text(_SOURCE)
-            out = pathlib.Path(tmp) / "lru.so"
+            out = pathlib.Path(tmp) / "kernels.so"
             # -ffp-contract=off: the float kernels promise numpy's exact
             # IEEE results, so the compiler must not fuse multiply-adds.
             subprocess.run(
@@ -368,72 +1055,149 @@ def _compile(so_path: pathlib.Path) -> bool:
                 timeout=120,
             )
             # Atomic publish: concurrent farm workers may race to build.
+            # The sidecar records the source digest the binary was built
+            # from and goes first, so a visible .so always has its proof.
+            side = pathlib.Path(tmp) / "kernels.sha256"
+            side.write_text(_source_digest())
+            os.replace(side, _sidecar(so_path))
             os.replace(out, so_path)
         return True
     except (OSError, subprocess.SubprocessError):
         return False
 
 
+def _verified(so_path: pathlib.Path) -> bool:
+    """Whether the cached binary's sidecar matches the current source."""
+    try:
+        return _sidecar(so_path).read_text().strip() == _source_digest()
+    except OSError:
+        return False
+
+
+def _quarantine(so_path: pathlib.Path) -> None:
+    """Move a failed binary (and its sidecar) aside for post-mortem."""
+    for path in (so_path, _sidecar(so_path)):
+        try:
+            os.replace(path, path.with_name(path.name + f".bad-{os.getpid()}"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
 def _load() -> ctypes.CDLL | None:
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    name = f"lru-{digest}.so"
+    # Keyed by the *full* SHA-256 of the C source: editing any kernel can
+    # never load a stale binary.  A corrupt or mismatched artifact (bad
+    # sidecar, unloadable .so, missing symbol) is quarantined and rebuilt
+    # once before falling through to the next cache directory.
+    name = f"repro-kernels-{_source_digest()}.so"
     for directory in _cache_dirs():
         so_path = directory / name
-        if not so_path.exists() and not _compile(so_path):
-            continue
-        try:
-            lib = ctypes.CDLL(str(so_path))
-        except OSError:
-            continue
-        lib.lru_run.restype = None
-        lib.lru_run.argtypes = [
-            _I64P, ctypes.c_int64, ctypes.c_int, ctypes.c_void_p,
-            _I64P, _U8P, _I64P,
-            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-            _I64P, _I64P, _I64P,
-        ]
-        lib.texstream.restype = None
-        lib.texstream.argtypes = [
-            _F64P, _F64P, _F64P, _F64P,
-            _I64P, _I64P, _I64P, ctypes.c_int64,
-            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-            _I64P, ctypes.c_int64,
-            ctypes.c_int64, ctypes.c_int64,
-            _I64P, _I64P,
-        ]
-        lib.raster_edges.restype = None
-        lib.raster_edges.argtypes = [
-            _I64P, _I64P, _I64P, ctypes.c_int64,
-            _F64P, _F64P, _F64P, _U8P,
-            _F64P, _U8P,
-        ]
-        lib.raster_interp.restype = None
-        lib.raster_interp.argtypes = [
-            _F64P, ctypes.c_int64,
-            _I64P, _I64P, ctypes.c_int64,
-            _F64P,
-            _F64P, _F64P, _F64P, _F64P,
-            _F64P, _F64P, _F64P,
-        ]
-        lib.hz_update.restype = None
-        lib.hz_update.argtypes = [
-            _F64P, ctypes.c_int64, ctypes.c_int64,
-            _I64P, _I64P, ctypes.c_int64,
-            _F64P, _F64P, ctypes.c_int64,
-        ]
-        lib.blocks_uniform.restype = None
-        lib.blocks_uniform.argtypes = [
-            _F64P, ctypes.c_int64, ctypes.c_int64,
-            _I64P, _I64P, ctypes.c_int64, _U8P,
-        ]
-        lib.bilinear.restype = None
-        lib.bilinear.argtypes = [
-            _F32P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-            _F64P, _F64P, ctypes.c_int64,
-            ctypes.c_int64, _F32P,
-        ]
-        return lib
+        lib = None
+        for _attempt in range(2):
+            if not so_path.exists() and not _compile(so_path):
+                break
+            if not _verified(so_path):
+                _quarantine(so_path)
+                continue
+            try:
+                lib = ctypes.CDLL(str(so_path))
+                _configure(lib)
+            except (OSError, AttributeError):
+                lib = None
+                _quarantine(so_path)
+                continue
+            break
+        if lib is not None:
+            return lib
     return None
+
+
+def _configure(lib: ctypes.CDLL) -> None:
+    """Set prototypes; raises AttributeError when a kernel is missing."""
+    lib.lru_run.restype = None
+    lib.lru_run.argtypes = [
+        _I64P, ctypes.c_int64, ctypes.c_int, ctypes.c_void_p,
+        _I64P, _U8P, _I64P,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        _I64P, _I64P, _I64P,
+    ]
+    lib.texcache.restype = None
+    lib.texcache.argtypes = [
+        _F64P, _F64P, _F64P, _F64P,
+        _I64P, _I64P, _I64P, ctypes.c_int64,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        _I64P, ctypes.c_int64,
+        ctypes.c_int64, ctypes.c_int64,
+        _I64P,
+        _I64P, _U8P, _I64P, ctypes.c_int64, ctypes.c_int64,
+        _I64P, _U8P, _I64P, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_int64,
+        _I64P,
+    ]
+    lib.raster_edges.restype = None
+    lib.raster_edges.argtypes = [
+        _I64P, _I64P, _I64P, ctypes.c_int64,
+        _F64P, _F64P, _F64P, _U8P,
+        _F64P, _U8P,
+    ]
+    lib.raster_interp.restype = None
+    lib.raster_interp.argtypes = [
+        _F64P, ctypes.c_int64,
+        _I64P, _I64P, ctypes.c_int64,
+        _F64P,
+        _F64P, _F64P, _F64P, _F64P,
+        _F64P, _F64P, _F64P,
+    ]
+    lib.hz_update.restype = None
+    lib.hz_update.argtypes = [
+        _F64P, ctypes.c_int64, ctypes.c_int64,
+        _I64P, _I64P, ctypes.c_int64,
+        _F64P, _F64P, ctypes.c_int64,
+    ]
+    lib.blocks_uniform.restype = None
+    lib.blocks_uniform.argtypes = [
+        _F64P, ctypes.c_int64, ctypes.c_int64,
+        _I64P, _I64P, ctypes.c_int64, _U8P,
+    ]
+    lib.bilinear.restype = None
+    lib.bilinear.argtypes = [
+        _F32P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        _F64P, _F64P, ctypes.c_int64,
+        ctypes.c_int64, _F32P,
+    ]
+    lib.bilinear_levels.restype = None
+    lib.bilinear_levels.argtypes = [
+        _F32P, _I64P, _I64P, _I64P, ctypes.c_int64,
+        _F64P, _F64P, _I64P, ctypes.c_int64,
+        _F32P,
+    ]
+    lib.colorpass.restype = None
+    lib.colorpass.argtypes = [
+        _I64P, _I64P, _F64P, _U8P, ctypes.c_int64,
+        _I64P, _I64P, ctypes.c_int64,
+        ctypes.c_int64,
+        _F64P, ctypes.c_int64,
+        _U8P, ctypes.c_int64, ctypes.c_int64,
+        _I64P, _U8P, _I64P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_int64, ctypes.c_int64,
+        _I64P, _I64P,
+    ]
+    lib.zpass.restype = None
+    lib.zpass.argtypes = [
+        _I64P, ctypes.c_int64,
+        _I64P, _I64P,
+        _I64P, _I64P, _U8P, _F64P, _U8P,
+        _I64P,
+        _F64P, ctypes.c_int64,
+        ctypes.c_void_p,
+        _F64P, _F64P,
+        ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_int64, ctypes.c_int64,
+        _U8P, _U8P, _U8P, _U8P,
+        _I64P,
+    ]
 
 
 def _fault_blocked() -> bool:
@@ -512,7 +1276,7 @@ def lru_run(
     return hits, miss_buf[:misses].copy(), evict_buf[:evictions].copy()
 
 
-def texstream(
+def texcache(
     u: np.ndarray,
     v: np.ndarray,
     du: np.ndarray,
@@ -527,19 +1291,38 @@ def texstream(
     mip_offsets: np.ndarray,
     base_address: int,
     block_bytes: int,
-    out: np.ndarray,
-) -> int:
-    """Fill ``out`` with the L0 block-address stream; returns its length."""
-    count = np.zeros(1, dtype=np.int64)
-    _lib.texstream(
+    bucket: np.ndarray,
+    l0_state: tuple[np.ndarray, np.ndarray, np.ndarray],
+    l0_geometry: tuple[int, int],
+    l1_state: tuple[np.ndarray, np.ndarray, np.ndarray],
+    l1_geometry: tuple[int, int],
+    l1_line_bytes: int,
+) -> tuple[int, int, int, int, int] | None:
+    """Fused texture address generation + L0/L1 cache walk, in place.
+
+    Returns ``(emitted, l0_hits, l0_misses, l1_hits, l1_misses)`` and
+    mutates both cache state triples, or ``None`` (state untouched) when
+    ``max_probes`` exceeds the kernel's bucket capacity.  ``bucket`` is
+    caller scratch of at least ``probes.sum()`` int64 entries.
+    """
+    counts = np.zeros(5, dtype=np.int64)
+    _lib.texcache(
         u, v, du, dv,
         mip0, probes, mips, u.shape[0],
         max_probes, max_level, width, height,
         mip_offsets, mip_offsets.shape[0],
         base_address, block_bytes,
-        out, count,
+        bucket,
+        l0_state[0], l0_state[1], l0_state[2],
+        l0_geometry[0], l0_geometry[1],
+        l1_state[0], l1_state[1], l1_state[2],
+        l1_geometry[0], l1_geometry[1],
+        l1_line_bytes,
+        counts,
     )
-    return int(count[0])
+    if counts[0] < 0:
+        return None
+    return tuple(int(v) for v in counts)  # type: ignore[return-value]
 
 
 def raster_edges(
@@ -621,3 +1404,106 @@ def bilinear(
     """Bilinear fetch from one (h, w, c) float32 mip into ``out``."""
     h, w, nc = mip.shape
     _lib.bilinear(mip, h, w, nc, u, v, u.shape[0], level, out)
+
+
+def bilinear_levels(
+    flat: np.ndarray,
+    offs: np.ndarray,
+    hs: np.ndarray,
+    ws: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    mip0: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Bilinear fetch across a flattened RGBA mip chain, one pass."""
+    _lib.bilinear_levels(
+        flat, offs, hs, ws, offs.shape[0],
+        u, v, mip0, u.shape[0], out,
+    )
+
+
+def colorpass(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    colors: np.ndarray,
+    live: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    blend_mode: int,
+    fbcolor: np.ndarray,
+    block_state: np.ndarray,
+    block: int,
+    blocks_x: int,
+    cache_state: tuple[np.ndarray, np.ndarray, np.ndarray],
+    nsets: int,
+    ways: int,
+    line_bytes: int,
+    compression: bool,
+    fast_clear: bool,
+    escratch: np.ndarray,
+) -> tuple[int, int, int, int, int]:
+    """Fused color blend + cache accounting over per-triangle groups.
+
+    Mutates ``fbcolor``/``block_state`` and the cache state triple in
+    place; returns ``(accesses, hits, misses, read_bytes, write_bytes)``.
+    ``escratch`` is caller scratch of at least ``len(xs) // 4`` entries.
+    """
+    nquads = xs.shape[0] // 4
+    counts = np.zeros(5, dtype=np.int64)
+    _lib.colorpass(
+        xs, ys, colors, live, nquads,
+        starts, ends, starts.shape[0],
+        blend_mode,
+        fbcolor, fbcolor.shape[1],
+        block_state, block, blocks_x,
+        cache_state[0], cache_state[1], cache_state[2],
+        nsets, ways, line_bytes,
+        int(compression), int(fast_clear),
+        escratch, counts,
+    )
+    return tuple(int(v) for v in counts)  # type: ignore[return-value]
+
+
+def zpass(
+    idx: np.ndarray,
+    seg_of: np.ndarray,
+    tri: np.ndarray,
+    qx: np.ndarray,
+    qy: np.ndarray,
+    cover: np.ndarray,
+    z: np.ndarray,
+    front: np.ndarray,
+    params: np.ndarray,
+    fbz: np.ndarray,
+    stencil: np.ndarray,
+    hz_max: np.ndarray,
+    hz_min: np.ndarray,
+    hzs_min: np.ndarray,
+    hzs_max: np.ndarray,
+    block: int,
+    pass_mask: np.ndarray,
+    entered: np.ndarray,
+    wrote: np.ndarray,
+    schanged: np.ndarray,
+    seg_counts: np.ndarray,
+) -> None:
+    """Fused HZ-cull + Z/stencil test-and-write over arena quads ``idx``.
+
+    Mutates the framebuffer planes, HZ arrays, and the caller-zeroed
+    ``pass_mask``/``entered``/``wrote``/``schanged``/``seg_counts``.
+    """
+    _lib.zpass(
+        idx, idx.shape[0],
+        seg_of, tri,
+        qx, qy, cover, z, front,
+        params,
+        fbz, fbz.shape[1],
+        stencil.ctypes.data_as(ctypes.c_void_p),
+        hz_max, hz_min,
+        hzs_min.ctypes.data_as(ctypes.c_void_p),
+        hzs_max.ctypes.data_as(ctypes.c_void_p),
+        block, hz_max.shape[1],
+        pass_mask, entered, wrote, schanged,
+        seg_counts,
+    )

@@ -12,11 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.state import RenderState
+from repro.gpu import _native
 from repro.gpu.caches import Cache
 from repro.gpu.config import GpuConfig
 from repro.gpu.framebuffer import BlockState, Framebuffer
 from repro.gpu.memory import MemoryController
 from repro.gpu.stats import MemClient
+
+_BLEND_MODES = {"replace": 0, "add": 1, "modulate": 2, "alpha": 3}
 
 
 class ColorStage:
@@ -73,6 +76,74 @@ class ColorStage:
         else:
             raise ValueError(f"unknown blend mode {blend!r}")
         self._account_cache(qx, qy)
+
+    def process_groups(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        colors: np.ndarray,
+        write_mask: np.ndarray,
+        blend: str,
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> None:
+        """Run :meth:`process` over ``[starts[g], ends[g])`` quad groups.
+
+        One native call blends every group and walks the color cache in the
+        group-sequential reference order (blend group g, account group g,
+        blend group g+1, ...), with the per-group eviction write-backs and
+        block-state updates deferred to each group's end exactly like
+        :meth:`_account_cache`.  Falls back to the per-group Python loop
+        when the kernel is unavailable.
+        """
+        mode = _BLEND_MODES.get(blend)
+        if mode is None:
+            raise ValueError(f"unknown blend mode {blend!r}")
+        nquads = qx.shape[0]
+        if _native.available() and nquads:
+            fb = self.fb
+            config = self.config
+            cache = self.cache
+            state = cache._export_state()
+            escratch = np.empty(nquads, dtype=np.int64)
+            counts = _native.colorpass(
+                np.ascontiguousarray(xs.reshape(-1), dtype=np.int64),
+                np.ascontiguousarray(ys.reshape(-1), dtype=np.int64),
+                np.ascontiguousarray(colors.reshape(-1, 4), dtype=np.float64),
+                np.ascontiguousarray(write_mask.reshape(-1), dtype=np.uint8),
+                np.ascontiguousarray(starts, dtype=np.int64),
+                np.ascontiguousarray(ends, dtype=np.int64),
+                mode,
+                fb.color,
+                fb.color_block_state,
+                fb.block,
+                fb.blocks_x,
+                state,
+                cache._nsets,
+                cache._ways,
+                cache._line_bytes,
+                bool(config.color_compression),
+                bool(config.color_fast_clear),
+                escratch,
+            )
+            accesses, hits, misses, read_bytes, write_bytes = counts
+            cache._import_state(*state)
+            cache.accesses += accesses
+            cache.hits += hits
+            cache.misses += misses
+            if read_bytes:
+                self.memory.read(MemClient.COLOR, read_bytes)
+            if write_bytes:
+                self.memory.write(MemClient.COLOR, write_bytes)
+            return
+        for g in range(starts.shape[0]):
+            s, e = int(starts[g]), int(ends[g])
+            self.process(
+                xs[s:e], ys[s:e], qx[s:e], qy[s:e],
+                colors[s:e], write_mask[s:e], blend,
+            )
 
     def _account_cache(self, qx: np.ndarray, qy: np.ndarray) -> None:
         fb = self.fb

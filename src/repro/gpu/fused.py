@@ -1,0 +1,387 @@
+"""Frame-level mega-batch execution (``GpuConfig(fused=True)``).
+
+The QuadStream path (``vectorized=True``) removed the per-triangle Python
+loop but still dispatches every pipeline stage once per draw; a frame with
+hundreds of draws pays hundreds of small native calls and numpy staging
+rounds per stage.  This module fuses the frame: every early-Z draw's
+rasterized quads are appended to one pre-grown structure-of-arrays arena
+(:class:`FrameArena`), and the HZ-cull + Z/stencil stage then runs as a
+single GIL-released native pass per *chunk* of consecutive early-Z draws
+(:func:`repro.gpu._native.zpass`), with per-draw render state gathered
+through a segment-id indirection table instead of Python dispatch.
+
+Determinism contract: statistics, quad fates, cache reference streams, and
+framebuffer images are bit-identical to the per-triangle reference path.
+The native pass replays the reference schedule exactly — per
+(segment, triangle) group: HZ cull against the group-frozen HZ state,
+sequential lane test/write, then the idempotent per-block stencil-band and
+HZ refreshes.  Shading and color blending run per segment, in segment
+order, through the same stage code the QuadStream path uses, so every
+cache's reference stream is unchanged.  The one deliberate approximation
+(shared with the QuadStream path, just wider): dirty z-cache evictions
+probe block compressibility against end-of-*chunk* z contents rather than
+end-of-draw, which can flip a z writeback between compressed and raw size —
+this affects z memory byte totals only, never hit/miss counts, statistics,
+fates, or framebuffer contents.
+
+Tile threading: ``GpuConfig.threads > 1`` splits a chunk's quads into
+horizontal bands of framebuffer blocks and runs the native pass per band in
+an in-process thread pool (the kernel call releases the GIL).  Quads never
+span an 8x8 block and bands never split a block, so the per-block operation
+sequences — the only ordering the stage observes — are untouched by the
+partition, and results are bit-identical at any thread count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu import _native
+from repro.gpu.rasterizer import QuadStream, rasterize_draw
+from repro.gpu.stats import FrameGpuStats, QuadFate
+from repro.observe import spans as obs_spans
+
+_DEPTH_FUNC_CODE = {"never": 0, "less": 1, "lequal": 2, "equal": 3, "always": 4}
+_STENCIL_FUNC_CODE = {"always": 0, "never": 1, "equal": 2, "notequal": 3}
+_STENCIL_OP_CODE = {
+    "keep": 0,
+    "zero": 1,
+    "replace": 2,
+    "incr_wrap": 3,
+    "decr_wrap": 4,
+}
+_PARAMS_PER_SEG = 16
+
+
+class FrameArena:
+    """Growable SoA buffers holding every enqueued quad of the frame.
+
+    Only the fields the native Z/stencil pass reads are copied in —
+    position, coverage, depth, triangle id, facing, plus the per-quad
+    segment id.  Shading interpolants (uv, color) stay on the per-draw
+    :class:`QuadStream` each :class:`Segment` keeps a reference to, so the
+    arena copy is ~70 bytes/quad instead of ~260.  Capacity grows 4x (from
+    a 64K-quad floor) and survives :meth:`reset`, so after the first frame
+    appends are plain slice copies.
+    """
+
+    def __init__(self) -> None:
+        self._cap = 0
+        self.n = 0
+
+    def _grow(self, need: int) -> None:
+        cap = max(need, max(4 * self._cap, 1 << 16))
+        arrays = {
+            "qx": np.empty(cap, dtype=np.int64),
+            "qy": np.empty(cap, dtype=np.int64),
+            "cover": np.empty((cap, 4), dtype=bool),
+            "z": np.empty((cap, 4), dtype=np.float64),
+            "tri": np.empty(cap, dtype=np.int64),
+            "front": np.empty(cap, dtype=bool),
+            "seg": np.empty(cap, dtype=np.int64),
+        }
+        n = self.n
+        for name, arr in arrays.items():
+            if n:
+                arr[:n] = getattr(self, name)[:n]
+            setattr(self, name, arr)
+        self._cap = cap
+
+    def append(self, stream: QuadStream, seg_id: int) -> None:
+        count = stream.quad_count
+        if self.n + count > self._cap:
+            self._grow(self.n + count)
+        s, e = self.n, self.n + count
+        self.qx[s:e] = stream.qx
+        self.qy[s:e] = stream.qy
+        self.cover[s:e] = stream.cover
+        self.z[s:e] = stream.z
+        self.tri[s:e] = stream.tri
+        self.front[s:e] = stream.front
+        self.seg[s:e] = seg_id
+        self.n = e
+
+    def reset(self) -> None:
+        self.n = 0
+
+
+@dataclass
+class Segment:
+    """One enqueued draw: its arena rows plus the state the stages need."""
+
+    start: int
+    end: int
+    stream: QuadStream  # full per-draw stream (uv/color live here, not in the arena)
+    state: object  # RenderState (frozen dataclass; the machine replaces, never mutates)
+    fp: object
+    early_z: bool
+    hz_on: bool
+    fstats: FrameGpuStats
+    bindings: dict[int, str]
+
+
+class FusedExecutor:
+    """Accumulates draws into the arena; flush runs the fused stages."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.arena = FrameArena()
+        self.segments: list[Segment] = []
+        self._pool: ThreadPoolExecutor | None = None
+
+    # A checkpointed simulator pickles at frame boundaries where the arena
+    # is empty, so only the back-reference needs to survive.
+    def __getstate__(self) -> dict:
+        return {"sim": self.sim}
+
+    def __setstate__(self, state: dict) -> None:
+        self.sim = state["sim"]
+        self.arena = FrameArena()
+        self.segments = []
+        self._pool = None
+
+    # -- enqueue (draw time) ---------------------------------------------
+    def enqueue(self, tris, fp, state, fstats: FrameGpuStats,
+                early_z: bool, hz_on: bool) -> None:
+        """Rasterize one draw into the arena; stages run at flush.
+
+        Raster statistics and the per-draw region log are recorded here
+        (rasterization really happens now); everything downstream is
+        deferred.  The render state is a frozen dataclass the state machine
+        replaces rather than mutates, so a plain reference is a snapshot;
+        the texture-binding table does mutate and is copied.  Late-Z (KIL)
+        draws skip the arena — only the native Z pass reads it — and run
+        straight off their own stream at flush.
+        """
+        sim = self.sim
+        with obs_spans.span("gpu.stage.raster", "gpu"):
+            stream = rasterize_draw(tris, sim.config.width, sim.config.height)
+        if sim._region_log is not None:
+            sim._region_log.append(
+                None if stream is None else stream.region_footprint()
+            )
+        if stream is None:
+            return
+        fstats.fragments_rasterized += stream.fragment_count
+        fstats.quads_rasterized += stream.quad_count
+        fstats.complete_quads_rasterized += stream.complete_quads
+        start = self.arena.n
+        if early_z and _native.available():
+            self.arena.append(stream, len(self.segments))
+        self.segments.append(
+            Segment(
+                start=start,
+                end=self.arena.n,
+                stream=stream,
+                state=state,
+                fp=fp,
+                early_z=early_z,
+                hz_on=hz_on,
+                fstats=fstats,
+                bindings=dict(sim.texture_unit._bindings),
+            )
+        )
+
+    # -- flush (frame boundary / hazard point) ---------------------------
+    def flush(self) -> None:
+        """Run every pending segment's remaining stages, in segment order."""
+        segments = self.segments
+        if not segments:
+            self.arena.reset()
+            return
+        try:
+            index = 0
+            while index < len(segments):
+                if segments[index].early_z:
+                    upper = index
+                    while upper < len(segments) and segments[upper].early_z:
+                        upper += 1
+                    self._run_early_chunk(segments[index:upper])
+                    index = upper
+                else:
+                    self._run_late_segment(segments[index])
+                    index += 1
+        finally:
+            self.segments = []
+            self.arena.reset()
+
+    # -- internals -------------------------------------------------------
+    def _restore_bindings(self, segment: Segment) -> None:
+        self.sim.texture_unit._bindings = dict(segment.bindings)
+
+    def _segment_params(self, segment: Segment) -> list[int]:
+        state = segment.state
+        config = self.sim.config
+        front = state.stencil_front
+        back = state.stencil_back
+        return [
+            int(state.depth_test),
+            _DEPTH_FUNC_CODE.get(state.depth_func, 0) if state.depth_test else 0,
+            int(state.depth_write),
+            int(state.stencil_test),
+            _STENCIL_FUNC_CODE.get(state.stencil_func, 1)
+            if state.stencil_test
+            else 0,
+            int(state.stencil_ref),
+            int(state.stencil_write),
+            _STENCIL_OP_CODE[front.sfail],
+            _STENCIL_OP_CODE[front.zfail],
+            _STENCIL_OP_CODE[front.zpass],
+            _STENCIL_OP_CODE[back.sfail],
+            _STENCIL_OP_CODE[back.zfail],
+            _STENCIL_OP_CODE[back.zpass],
+            int(segment.hz_on),
+            int(config.hz_min_max and state.depth_func == "equal"),
+            int(config.hz_stencil and state.stencil_test),
+        ]
+
+    def _run_early_chunk(self, chunk: list[Segment]) -> None:
+        """HZ + Z/stencil for consecutive early-Z segments in one pass."""
+        sim = self.sim
+        if not _native.available():
+            # Pure-Python fallback: each segment runs the QuadStream stage
+            # code (which does its own accounting and fate counting).
+            for segment in chunk:
+                stream = segment.stream
+                with obs_spans.span("gpu.stage.zstencil", "gpu"):
+                    surv, pass_mask = sim._zstencil_stream(
+                        stream, stream.cover, segment.state,
+                        segment.fstats, segment.hz_on,
+                    )
+                if surv.any():
+                    self._shade_segment(
+                        segment, stream.select(surv), pass_mask[surv]
+                    )
+            return
+
+        base, end = chunk[0].start, chunk[-1].end
+        params = np.asarray(
+            [self._segment_params(segment) for segment in self.segments],
+            dtype=np.int64,
+        ).reshape(len(self.segments), _PARAMS_PER_SEG)
+        seg_counts = np.zeros(len(self.segments) * 4, dtype=np.int64)
+        pass_mask = np.zeros((self.arena.n, 4), dtype=np.uint8)
+        entered = np.zeros(self.arena.n, dtype=np.uint8)
+        wrote = np.zeros(self.arena.n, dtype=np.uint8)
+        schanged = np.zeros(self.arena.n, dtype=np.uint8)
+        with obs_spans.span("gpu.stage.zstencil", "gpu"):
+            self._run_zpass(
+                base, end, params, pass_mask, entered, wrote, schanged,
+                seg_counts,
+            )
+
+        pass_b = pass_mask.view(bool)
+        entered_b = entered.view(bool)
+        wrote_b = wrote.view(bool)
+        for segment in chunk:
+            seg_id = self.arena.seg[segment.start]
+            counts = seg_counts[seg_id * 4 : seg_id * 4 + 4]
+            fstats = segment.fstats
+            fstats.count_quad_fates(QuadFate.HZ, int(counts[0]))
+            fstats.fragments_zstencil += int(counts[1])
+            fstats.quads_zstencil += int(counts[2])
+            fstats.complete_quads_zstencil += int(counts[3])
+            sl = slice(segment.start, segment.end)
+            seg_entered = entered_b[sl]
+            seg_pass = pass_b[sl]
+            seg_wrote = wrote_b[sl]
+            stream = segment.stream
+            sim.zstencil.account_stream(
+                stream.qx[seg_entered],
+                stream.qy[seg_entered],
+                seg_wrote[seg_entered],
+            )
+            surv = seg_entered & seg_pass.any(axis=1)
+            fstats.count_quad_fates(
+                QuadFate.ZSTENCIL, int(seg_entered.sum() - surv.sum())
+            )
+            if surv.any():
+                self._shade_segment(segment, stream.select(surv), seg_pass[surv])
+
+    def _run_zpass(
+        self,
+        base: int,
+        end: int,
+        params: np.ndarray,
+        pass_mask: np.ndarray,
+        entered: np.ndarray,
+        wrote: np.ndarray,
+        schanged: np.ndarray,
+        seg_counts: np.ndarray,
+    ) -> None:
+        """Dispatch the native pass over arena rows [base, end) by tile."""
+        sim = self.sim
+        fb = sim.fb
+        arena = self.arena
+        threads = sim.config.threads
+        kernel_args = (
+            arena.seg, arena.tri, arena.qx, arena.qy,
+            arena.cover.view(np.uint8), arena.z, arena.front.view(np.uint8),
+            params, fb.z, fb.stencil, fb.hz_max, fb.hz_min,
+            fb.hz_stencil_min, fb.hz_stencil_max, fb.block,
+            pass_mask, entered, wrote, schanged,
+        )
+        if threads <= 1 or fb.blocks_y <= 1:
+            idx = np.arange(base, end, dtype=np.int64)
+            _native.zpass(idx, *kernel_args, seg_counts)
+            return
+        # Horizontal block bands: a quad's band is a pure function of its
+        # position, so the partition (and every per-band walk) is
+        # deterministic, and bands touch disjoint framebuffer blocks.
+        band = -(-fb.blocks_y // threads)
+        tile_of = (arena.qy[base:end] * 2 // fb.block) // band
+        tiles = []
+        for tile in range(int(tile_of.max()) + 1):
+            idx = base + np.nonzero(tile_of == tile)[0]
+            if idx.size:
+                tiles.append(np.ascontiguousarray(idx, dtype=np.int64))
+        if len(tiles) == 1:
+            _native.zpass(tiles[0], *kernel_args, seg_counts)
+            return
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = ThreadPoolExecutor(max_workers=threads)
+        partials = [
+            np.zeros(seg_counts.shape[0], dtype=np.int64) for _ in tiles
+        ]
+        futures = [
+            pool.submit(_native.zpass, idx, *kernel_args, partial)
+            for idx, partial in zip(tiles, partials)
+        ]
+        for future in futures:
+            future.result()
+        for partial in partials:
+            seg_counts += partial
+
+    def _shade_segment(
+        self, segment: Segment, stream: QuadStream, live: np.ndarray
+    ) -> None:
+        self._restore_bindings(segment)
+        with obs_spans.span("gpu.stage.shade", "gpu"):
+            self.sim._shade_and_write_stream(
+                stream, live, segment.fp, segment.state, segment.fstats,
+                early_z=True,
+            )
+
+    def _run_late_segment(self, segment: Segment) -> None:
+        """Late-Z (KIL shader) draw: the QuadStream path, run at flush."""
+        sim = self.sim
+        fstats = segment.fstats
+        state = segment.state
+        stream = segment.stream
+        if segment.hz_on:
+            culled = sim._hz_cull(
+                stream.qx, stream.qy, stream.z, stream.cover, state, fstats
+            )
+            if culled.all():
+                return
+            if culled.any():
+                stream = stream.select(~culled)
+        self._restore_bindings(segment)
+        with obs_spans.span("gpu.stage.shade", "gpu"):
+            sim._shade_and_write_stream(
+                stream, stream.cover, segment.fp, state, fstats, early_z=False
+            )

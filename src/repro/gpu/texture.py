@@ -290,18 +290,21 @@ class TextureUnit:
         du_c = major_du[covered]
         dv_c = major_dv[covered]
         block_bytes = resource.format.block_bytes
-        if _native.available() and u_c.dtype == np.float64:
-            # One fused pass: the kernel emits the whole probe-major
-            # reference stream (bit-identical to the numpy construction
-            # below) without materializing any per-probe intermediate.
+        if _native.available() and u_c.dtype == np.float64 and max_probes <= 64:
+            # One fused pass: the kernel generates the probe-major reference
+            # stream (bit-identical addresses to the numpy construction
+            # below) and walks it through the L0 and L1 LRU state inline,
+            # without materializing any intermediate.  The raw walk counts
+            # exactly what the collapse passes in ``access_stream`` count:
+            # those passes only drop guaranteed hits, which the walk scores
+            # as hits anyway, and leave the same final LRU contents.
             mip0_i = np.ascontiguousarray(mip0_c, dtype=np.int64)
             probes_i = np.ascontiguousarray(probes_c, dtype=np.int64)
             mips_i = np.ascontiguousarray(mips_c, dtype=np.int64)
-            bound = int(2 * (probes_i * np.minimum(mips_i, 2)).sum())
-            if bound == 0:
-                return
-            stream_buf = np.empty(bound, dtype=np.int64)
-            count = _native.texstream(
+            bucket = np.empty(max(int(probes_i.sum()), 1), dtype=np.int64)
+            l0_state = self.l0._export_state()
+            l1_state = self.l1._export_state()
+            counts = _native.texcache(
                 np.ascontiguousarray(u_c),
                 np.ascontiguousarray(v_c),
                 np.ascontiguousarray(du_c, dtype=np.float64),
@@ -316,10 +319,29 @@ class TextureUnit:
                 mip_offsets,
                 resource.base_address,
                 block_bytes,
-                stream_buf,
+                bucket,
+                l0_state,
+                (self.l0._nsets, self.l0._ways),
+                l1_state,
+                (self.l1._nsets, self.l1._ways),
+                self.config.texture_l1.line_bytes,
             )
-            self._account_l0_stream(stream_buf[:count], block_bytes)
-            return
+            if counts is not None:
+                emitted, l0_hits, l0_misses, l1_hits, l1_misses = counts
+                self.l0._import_state(*l0_state)
+                self.l1._import_state(*l1_state)
+                self.l0.accesses += emitted
+                self.l0.hits += l0_hits
+                self.l0.misses += l0_misses
+                self.l1.accesses += l0_misses
+                self.l1.hits += l1_hits
+                self.l1.misses += l1_misses
+                if l1_misses:
+                    self.memory.read(
+                        MemClient.TEXTURE,
+                        l1_misses * self.config.texture_l1.line_bytes,
+                    )
+                return
         # The reference stream is probe-major: probe p of every lane that has
         # one (lane order), then probe p+1, ...  Materialize that (p, lane)
         # pair order once up front so every per-lane array is gathered a
@@ -451,12 +473,76 @@ class TextureUnit:
         offs = np.asarray(mip_offsets, dtype=np.int64)[np.minimum(level, len(mip_offsets) - 1)]
         return resource.base_address + offs + block * resource.format.block_bytes
 
+    def _flat_mips(
+        self, resource: TextureResource
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Flattened mip chain for the fused fetch kernel, memoized.
+
+        Returns ``(flat, offs, hs, ws)`` — every RGBA float32 mip
+        concatenated texel-major with per-level texel offsets and extents —
+        or ``None`` when any mip is not a contiguous (h, w, 4) float32
+        array.  The memo is keyed by resource name and identity-checked so
+        a re-registered resource rebuilds its entry.
+        """
+        cache = getattr(self, "_flat_cache", None)
+        if cache is None:
+            cache = self._flat_cache = {}
+        entry = cache.get(resource.name)
+        if entry is not None and entry[0] is resource:
+            return entry[1]
+        for mip in resource.mips:
+            if not (
+                mip.dtype == np.float32
+                and mip.flags.c_contiguous
+                and mip.ndim == 3
+                and mip.shape[2] == 4
+            ):
+                return None
+        offs = np.zeros(len(resource.mips), dtype=np.int64)
+        texels = 0
+        for index, mip in enumerate(resource.mips):
+            offs[index] = texels
+            texels += mip.shape[0] * mip.shape[1]
+        flat = np.concatenate([m.reshape(-1, 4) for m in resource.mips])
+        flat = np.ascontiguousarray(flat, dtype=np.float32)
+        hs = np.asarray([m.shape[0] for m in resource.mips], dtype=np.int64)
+        ws = np.asarray([m.shape[1] for m in resource.mips], dtype=np.int64)
+        packed = (flat, offs, hs, ws)
+        cache[resource.name] = (resource, packed)
+        return packed
+
+    def __getstate__(self) -> dict:
+        # The flattened-mip memo is derived workspace: it doubles the
+        # texel payload and is rebuilt on demand, so keep it out of
+        # pickled artifacts (content addressing needs minimal state).
+        state = dict(self.__dict__)
+        state.pop("_flat_cache", None)
+        return state
+
     def _bilinear(
         self, resource: TextureResource, u: np.ndarray, v: np.ndarray, mip0: np.ndarray
     ) -> np.ndarray:
         """Bilinear color fetch at the floor mip (color approximation)."""
-        out = np.empty((u.shape[0], 4), dtype=np.float32)
         use_native = _native.available()
+        if use_native and u.dtype == np.float64 and v.dtype == np.float64:
+            packed = self._flat_mips(resource)
+            if packed is not None:
+                # One fused pass over all lanes regardless of mip level;
+                # per-lane arithmetic is the single-level kernel verbatim.
+                flat, offs, hs, ws = packed
+                fused = np.empty((u.shape[0], 4), dtype=np.float32)
+                _native.bilinear_levels(
+                    flat,
+                    offs,
+                    hs,
+                    ws,
+                    np.ascontiguousarray(u),
+                    np.ascontiguousarray(v),
+                    np.ascontiguousarray(mip0, dtype=np.int64),
+                    fused,
+                )
+                return fused
+        out = np.empty((u.shape[0], 4), dtype=np.float32)
         for level in np.unique(mip0):
             sel = mip0 == level
             mip = resource.mips[int(level)]

@@ -11,7 +11,8 @@ simulator's bottleneck behaviour responds to the Table II machine rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -44,10 +45,17 @@ class MicrobenchResult:
     events: int
     cycles_per_frame: float
     bottleneck: str
+    #: Measured wall time of the hot pass (fused-kernel benches only; the
+    #: scenario benches report simulated cycles, not host time).
+    seconds: float = 0.0
 
     @property
     def events_per_cycle(self) -> float:
         return self.events / self.cycles_per_frame if self.cycles_per_frame else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds else 0.0
 
 
 def _fullscreen_quad(name: str = "fsq", depth: float = 0.0) -> Mesh:
@@ -86,9 +94,11 @@ def _run(
     meta = TraceMeta(
         "microbench", GraphicsApi.OPENGL, 1, config.width, config.height
     )
+    start = time.perf_counter()
     result = sim.run_trace(Trace(meta, [Frame(0, calls)]))
+    seconds = time.perf_counter() - start
     estimate = perf.estimate(result.stats, result.memory, result.config)
-    return result, estimate
+    return result, estimate, seconds
 
 
 def fill_rate(config: GpuConfig | None = None, layers: int = 8) -> MicrobenchResult:
@@ -108,7 +118,7 @@ def fill_rate(config: GpuConfig | None = None, layers: int = 8) -> MicrobenchRes
     calls.extend(
         Draw("fsq", mesh.primitive, mesh.index_count) for _ in range(layers)
     )
-    result, estimate = _run(config, {"fsq": mesh}, {"vp": vp, "fp": fp}, [], calls)
+    result, estimate, _ = _run(config, {"fsq": mesh}, {"vp": vp, "fp": fp}, [], calls)
     return MicrobenchResult(
         "fill_rate",
         "fragments blended",
@@ -139,7 +149,7 @@ def texture_rate(
     calls.extend(
         Draw("fsq", mesh.primitive, mesh.index_count) for _ in range(layers)
     )
-    result, estimate = _run(
+    result, estimate, _ = _run(
         config, {"fsq": mesh}, {"vp": vp, "fp": fp}, resources, calls
     )
     return MicrobenchResult(
@@ -170,7 +180,7 @@ def geometry_rate(
         SetUniform.matrix("model", np.eye(4)),
         Draw("dense", mesh.primitive, mesh.index_count),
     ]
-    result, estimate = _run(config, {"dense": mesh}, {"vp": vp, "fp": fp}, [], calls)
+    result, estimate, _ = _run(config, {"dense": mesh}, {"vp": vp, "fp": fp}, [], calls)
     return MicrobenchResult(
         "geometry_rate",
         "triangles assembled",
@@ -200,7 +210,7 @@ def zstencil_rate(
     calls.extend(
         Draw("far", far.primitive, far.index_count) for _ in range(layers)
     )
-    result, estimate = _run(
+    result, estimate, _ = _run(
         config, {"near": near, "far": far}, {"vp": vp, "fp": fp}, [], calls
     )
     return MicrobenchResult(
@@ -223,3 +233,145 @@ ALL_MICROBENCHES = {
 def run_all(config: GpuConfig | None = None) -> list[MicrobenchResult]:
     """Run the whole suite with a shared configuration."""
     return [func(config) for func in ALL_MICROBENCHES.values()]
+
+
+# -- fused whole-stage kernel benches --------------------------------------
+# The scenario benches above measure *simulated* throughput (events per
+# estimated cycle); these measure the *host-side* cost of the mega-batch
+# path's fused kernels (see repro.gpu.fused), wall-timed min-of-N so perf
+# PRs against the frame-level fusion have a per-kernel baseline.
+
+
+def arena_fill(
+    config: GpuConfig | None = None,
+    quads: int = 1 << 15,
+    segments: int = 16,
+    repeats: int = 5,
+) -> MicrobenchResult:
+    """SoA arena fill: append ``segments`` draws' quads into a FrameArena."""
+    from repro.gpu.fused import FrameArena
+    from repro.gpu.rasterizer import QuadStream
+
+    rng = np.random.default_rng(11)
+    n = max(1, quads // segments)
+    stream = QuadStream(
+        qx=rng.integers(0, 128, n),
+        qy=rng.integers(0, 96, n),
+        cover=rng.random((n, 4)) < 0.8,
+        z=rng.random((n, 4)),
+        uv=rng.random((n, 4, 2)),
+        color=rng.random((n, 4, 4)),
+        tri=np.arange(n, dtype=np.int64) // 4,
+        front=np.ones(n, dtype=bool),
+    )
+    arena = FrameArena()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        arena.reset()
+        start = time.perf_counter()
+        for seg in range(segments):
+            arena.append(stream, seg)
+        best = min(best, time.perf_counter() - start)
+    return MicrobenchResult(
+        "arena_fill",
+        "quads appended",
+        segments * n,
+        0.0,
+        "host memory",
+        seconds=best,
+    )
+
+
+def _timed_fused(config: GpuConfig | None) -> GpuConfig:
+    base = config or GpuConfig(width=256, height=192)
+    return replace(base, vectorized=True, fused=True)
+
+
+def fused_zstencil_pass(
+    config: GpuConfig | None = None, layers: int = 10, repeats: int = 3
+) -> MicrobenchResult:
+    """Fused HZ + Z/stencil kernel: the z-reject scenario through the arena
+    path (one native ``zpass`` per frame chunk), wall-timed end to end."""
+    config = _timed_fused(config)
+    near = _fullscreen_quad("near", depth=-0.5)
+    far = _fullscreen_quad("far", depth=0.5)
+    vp = library.build_vertex_program("vp", 12, lit=False)
+    fp = library.build_fragment_program("fp", 0, 3)
+    calls: list = [
+        Clear(),
+        BindProgram("vertex", "vp"),
+        BindProgram("fragment", "fp"),
+        SetUniform.matrix("mvp", _ortho_mvp()),
+        SetUniform.matrix("model", np.eye(4)),
+        Draw("near", near.primitive, near.index_count),
+    ]
+    calls.extend(
+        Draw("far", far.primitive, far.index_count) for _ in range(layers)
+    )
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        result, estimate, seconds = _run(
+            config, {"near": near, "far": far}, {"vp": vp, "fp": fp}, [], calls
+        )
+        best = min(best, seconds)
+    return MicrobenchResult(
+        "fused_zstencil_pass",
+        "fragments z-tested",
+        result.stats.fragments_zstencil,
+        estimate.cycles_per_frame,
+        estimate.bottleneck,
+        seconds=best,
+    )
+
+
+def fused_texture_pass(
+    config: GpuConfig | None = None,
+    layers: int = 4,
+    textures: int = 4,
+    repeats: int = 3,
+) -> MicrobenchResult:
+    """Fused texture kernel: the multitexture scenario through the arena
+    path (whole-draw ``texcache``/``bilinear_levels`` calls), wall-timed."""
+    config = _timed_fused(config)
+    mesh = _fullscreen_quad()
+    vp = library.build_vertex_program("vp", 12, lit=False)
+    fp = library.build_fragment_program("fp", textures, textures * 2 + 2)
+    resources = [_noise_texture(f"noise{i}") for i in range(textures)]
+    calls: list = [
+        Clear(),
+        BindProgram("vertex", "vp"),
+        BindProgram("fragment", "fp"),
+        SetState("depth_test", False),
+        SetUniform.matrix("mvp", _ortho_mvp()),
+        SetUniform.matrix("model", np.eye(4)),
+    ]
+    calls.extend(BindTexture(i, f"noise{i}") for i in range(textures))
+    calls.extend(
+        Draw("fsq", mesh.primitive, mesh.index_count) for _ in range(layers)
+    )
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        result, estimate, seconds = _run(
+            config, {"fsq": mesh}, {"vp": vp, "fp": fp}, resources, calls
+        )
+        best = min(best, seconds)
+    return MicrobenchResult(
+        "fused_texture_pass",
+        "bilinear samples",
+        result.stats.bilinear_samples,
+        estimate.cycles_per_frame,
+        estimate.bottleneck,
+        seconds=best,
+    )
+
+
+FUSED_MICROBENCHES = {
+    "arena_fill": arena_fill,
+    "fused_zstencil_pass": fused_zstencil_pass,
+    "fused_texture_pass": fused_texture_pass,
+}
+
+
+def run_fused(config: GpuConfig | None = None) -> list[MicrobenchResult]:
+    """Run the fused-kernel benches with a shared configuration."""
+    return [func(config) for func in FUSED_MICROBENCHES.values()]
