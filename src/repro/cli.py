@@ -15,6 +15,11 @@ Subcommands
                   rank spans and draw calls, dump the metrics registry
 ``farm``          inspect (``status``) or empty (``clear``) the artifact cache
 ``chaos``         injected-fault recovery suite (crash/hang/corruption/...)
+``compare``       cross-run regression explorer: diff two runs (bench
+                  documents, history lines, span exports, live probes, git
+                  revisions) with tolerance classes, render ASCII/HTML/JSON,
+                  optionally gate (``--fail-on``); ``--history`` renders the
+                  bench-history trajectory
 
 The measurement-heavy commands (``tables``, ``figures``, ``scorecard``,
 ``simulate``) run on the execution farm: ``--jobs N`` shards the underlying
@@ -769,6 +774,108 @@ def _cmd_loadtest(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_compare(args) -> int:
+    from repro import compare
+
+    if args.history:
+        entries = compare.load_history(args.history_file, bench=args.bench)
+        if not entries:
+            print("no bench history entries", file=sys.stderr)
+            return 2
+        if args.format == "html":
+            rendered = compare.render_history_html(entries)
+        elif args.format == "json":
+            import json as _json
+
+            rendered = _json.dumps(entries, indent=2, sort_keys=True) + "\n"
+        else:
+            rendered = compare.render_history_ascii(entries) + "\n"
+        if args.out:
+            pathlib.Path(args.out).write_text(rendered)
+            print(compare.render_history_ascii(entries))
+            print(f"wrote {args.out}")
+        else:
+            print(rendered, end="")
+        return 0
+
+    if len(args.runs) != 2:
+        print(
+            "compare needs exactly two runs (or --history); got "
+            f"{len(args.runs)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    band = args.band
+    mode = None
+    if args.fail_on:
+        try:
+            mode, fail_band = compare.parse_fail_on(args.fail_on)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if band is None:
+            band = fail_band
+    if band is None:
+        band = compare.DEFAULT_BAND_PCT
+
+    probe = compare.ProbeSpec(
+        kind=args.kind,
+        workload=args.workload,
+        frames=args.frames,
+        jobs=args.jobs,
+        shard_frames=args.shard_frames,
+    )
+    options = compare.LoadOptions(
+        probe=probe,
+        cell_tables=args.tables,
+        history_bench=args.bench,
+    )
+    try:
+        run_a = compare.load_run(args.runs[0], options)
+        run_b = compare.load_run(args.runs[1], options)
+        diff = compare.diff_runs(
+            run_a,
+            run_b,
+            band_pct=band,
+            include_cells=bool(args.tables),
+            include_noise=not args.no_noise,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.format == "html":
+        history = compare.load_history(args.history_file, bench=args.bench)
+        rendered = compare.render_html(diff, history=history or None)
+    elif args.format == "json":
+        rendered = compare.render_json(diff)
+    else:
+        rendered = compare.render_ascii(diff) + "\n"
+    if args.out:
+        pathlib.Path(args.out).write_text(rendered)
+        print(compare.render_ascii(diff))
+        print(f"wrote {args.out}")
+    else:
+        print(rendered, end="")
+        if args.format != "ascii":
+            print(compare.render_ascii(diff), file=sys.stderr)
+
+    if mode is not None:
+        violations = compare.gate(diff, mode)
+        if violations:
+            print(
+                f"COMPARE GATE FAIL ({args.fail_on}): "
+                f"{len(violations)} violation(s)",
+                file=sys.stderr,
+            )
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print(f"compare gate ok ({args.fail_on})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1062,6 +1169,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_flags(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two runs (bench docs, history, span exports, live "
+        "probes, git revisions) with tolerance classes",
+    )
+    p.add_argument(
+        "runs",
+        nargs="*",
+        metavar="RUN",
+        help="two run tokens: a BENCH_*.json document, a history/span "
+        ".jsonl, 'live', kind:workload@frames, or a git revision",
+    )
+    p.add_argument(
+        "--format", choices=["ascii", "html", "json"], default="ascii"
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the rendered report here (ASCII summary still printed)",
+    )
+    p.add_argument(
+        "--fail-on",
+        default=None,
+        metavar="SPEC",
+        help="gate and exit 1 on violations: exact | regression[:N%%] | any",
+    )
+    p.add_argument(
+        "--band",
+        type=float,
+        default=None,
+        help="timing noise band in percent (default 10, or the "
+        "--fail-on band)",
+    )
+    p.add_argument(
+        "--no-noise",
+        action="store_true",
+        help="drop within-band timing rows from the report",
+    )
+    p.add_argument(
+        "--kind",
+        choices=["sim", "api", "geometry"],
+        default="sim",
+        help="probe kind for live/revision runs",
+    )
+    p.add_argument(
+        "--workload",
+        default="UT2004/Primeval",
+        help="probe workload for live/revision runs",
+    )
+    p.add_argument(
+        "--frames", type=int, default=2, help="probe frame budget"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, help="probe farm width"
+    )
+    p.add_argument(
+        "--shard-frames",
+        type=int,
+        default=None,
+        help="probe frame-sharding policy (pin for cross-width compares)",
+    )
+    p.add_argument(
+        "--tables",
+        nargs="*",
+        default=None,
+        help="also regenerate and diff these paper tables' cells "
+        "(expensive; e.g. table3 table9)",
+    )
+    p.add_argument(
+        "--bench",
+        choices=["pipeline", "serve"],
+        default=None,
+        help="filter history entries to one bench kind",
+    )
+    p.add_argument(
+        "--history",
+        action="store_true",
+        help="render the bench-history trajectory instead of diffing",
+    )
+    p.add_argument(
+        "--history-file",
+        default=None,
+        help="history path (default results/bench_history.jsonl)",
+    )
+    p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
         "loadtest",

@@ -1,0 +1,353 @@
+"""Order-stable structural diff of two runs, with tolerance classes.
+
+Every compared value belongs to one of three **tolerance classes**:
+
+* ``exact`` — bit-identity fields: quad fates, framebuffer/image digests,
+  event counters, cache hit/miss/access triples, table cells.  Any delta
+  is a real behavioural difference — these are what the CI gate fails on.
+* ``timing`` — wall-clock-derived fields: seconds, rates, speedups,
+  latency percentiles, span self-times.  Deltas are judged against a
+  percentage band, directionally (a throughput drop is a *regression*, a
+  latency drop an *improvement*), and only when the two runs carry the
+  same :func:`~repro.compare.meta.machine_fingerprint`; cross-machine
+  timing deltas are downgraded to **advisory** instead of gating.
+* ``info`` — execution-strategy bookkeeping (farm scheduling counters,
+  gauge maxima, serve cache statistics): reported for context, never
+  gated, and excluded from "non-timing deltas" — two runs of the same
+  spec at different ``--jobs`` widths legitimately differ here.
+
+Classification is by ordered name rules (:data:`RULES`) plus one semantic
+rule: **gauges** merge across workers by maximum, which makes their value
+depend on how work was sharded, so any metric known to be a gauge is
+``info`` regardless of name.
+
+The diff itself is order-stable: rows are emitted section by section in
+sorted key order, so two invocations over the same pair of runs produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.compare.meta import machine_fingerprint
+from repro.compare.runset import RunResults
+
+#: Sections of a RunResults, in report order.
+SECTIONS = ("identity", "metrics", "stages", "cells")
+
+#: Default timing band: |relative delta| beyond this is a regression or an
+#: improvement, within it is noise.
+DEFAULT_BAND_PCT = 10.0
+
+#: Ordered (class, pattern) rules; first match wins, default is ``exact``.
+RULES: tuple[tuple[str, str], ...] = (
+    ("timing", r"^farm\.phase\."),
+    ("timing", r"\.phases\."),
+    ("info", r"^observe\."),
+    ("info", r"^farm\.cpu_count$"),
+    ("info", r"^(cache|server_stats)\."),
+    ("info", r"^backpressure_429s$"),
+    ("timing",
+     r"(^|\.)(seconds|untraced_seconds|self_seconds|wall_s|avg_job_s)$"),
+    ("timing",
+     r"(^|\.)(speedup|overhead_pct(_raw)?|throughput_rps|spread"
+     r"|max_client_s|min_client_s|share_pct)$"),
+    ("timing", r"_per_s$"),
+    ("timing", r"\.latency_s\."),
+)
+
+#: Directional patterns for timing metrics: +1 higher-is-better,
+#: -1 lower-is-better.  Unmatched timing names have no direction — their
+#: beyond-band deltas are reported as ``shift`` and never gate.
+_HIGHER_BETTER = re.compile(
+    r"_per_s$|(^|\.)(speedup|throughput_rps|hit_rate)($|\.)"
+)
+_LOWER_BETTER = re.compile(
+    r"(^|\.)(seconds|untraced_seconds|self_seconds|wall_s|avg_job_s"
+    r"|overhead_pct(_raw)?|spread|max_client_s)$|\.latency_s\.|^farm\.phase\."
+    r"|\.phases\."
+)
+
+_COMPILED_RULES = tuple(
+    (klass, re.compile(pattern)) for klass, pattern in RULES
+)
+
+
+def classify(section: str, name: str, metric_type: str | None = None) -> str:
+    """Tolerance class of one value: ``exact`` | ``timing`` | ``info``."""
+    if section in ("identity", "cells"):
+        return "exact"
+    if section == "stages":
+        if name.endswith(".self_seconds") or name.endswith(".share_pct"):
+            return "timing"
+        # Span *counts* are deterministic for the pipeline's own spans;
+        # farm/job scopes depend on the unit plan (shard width), not on
+        # what was computed.
+        return "exact" if name.startswith("gpu.") else "info"
+    for klass, pattern in _COMPILED_RULES:
+        if pattern.search(name):
+            return klass
+    if metric_type == "gauge":
+        return "info"
+    return "exact"
+
+
+def direction(name: str) -> int:
+    """+1 if larger is better, -1 if smaller is better, 0 if unknown."""
+    if _HIGHER_BETTER.search(name):
+        return 1
+    if _LOWER_BETTER.search(name):
+        return -1
+    return 0
+
+
+@dataclass
+class DeltaRow:
+    """One differing value between the two runs."""
+
+    section: str  # identity | metrics | stages | cells
+    name: str
+    a: object
+    b: object
+    klass: str  # exact | timing | info
+    status: str  # changed | added | removed | regression | improvement
+    #           # | shift | noise
+    delta: float | None = None  # b - a where both are numeric
+    rel_pct: float | None = None  # 100 * delta / |a| where defined
+    advisory: bool = False  # timing row across differing machines
+
+    def as_dict(self) -> dict:
+        return {
+            "section": self.section,
+            "name": self.name,
+            "a": self.a,
+            "b": self.b,
+            "class": self.klass,
+            "status": self.status,
+            "delta": self.delta,
+            "rel_pct": self.rel_pct,
+            "advisory": self.advisory,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The structural diff of two runs plus the context to render it."""
+
+    label_a: str
+    label_b: str
+    meta_a: dict
+    meta_b: dict
+    band_pct: float
+    rows: list[DeltaRow] = field(default_factory=list)
+    compared: dict = field(default_factory=dict)  # section -> values compared
+    skipped: list[str] = field(default_factory=list)  # sections w/o both sides
+
+    @property
+    def fingerprint_match(self) -> bool:
+        a = machine_fingerprint(self.meta_a)
+        b = machine_fingerprint(self.meta_b)
+        return a is not None and a == b
+
+    @property
+    def empty(self) -> bool:
+        return not self.rows
+
+    @property
+    def non_timing_deltas(self) -> list[DeltaRow]:
+        """Exact-class differences — the bit-identity violations."""
+        return [row for row in self.rows if row.klass == "exact"]
+
+    def regressions(self) -> list[DeltaRow]:
+        """Non-advisory timing regressions (beyond the band, bad way)."""
+        return [
+            row
+            for row in self.rows
+            if row.status == "regression" and not row.advisory
+        ]
+
+    def section_rows(self, section: str) -> list[DeltaRow]:
+        return [row for row in self.rows if row.section == section]
+
+    def counts(self) -> dict:
+        out = {"compared": sum(self.compared.values()), "rows": len(self.rows)}
+        for key in ("exact", "timing", "info"):
+            out[key] = sum(1 for row in self.rows if row.klass == key)
+        out["regressions"] = len(self.regressions())
+        out["non_timing"] = len(self.non_timing_deltas)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "a": {"label": self.label_a, "meta": self.meta_a},
+            "b": {"label": self.label_b, "meta": self.meta_b},
+            "band_pct": self.band_pct,
+            "fingerprint_match": self.fingerprint_match,
+            "compared": dict(self.compared),
+            "skipped": list(self.skipped),
+            "counts": self.counts(),
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _timing_status(name: str, a, b, band_pct: float) -> tuple[str, float | None]:
+    if not (_numeric(a) and _numeric(b)):
+        return ("changed", None)
+    if a == 0:
+        return (("noise" if b == 0 else "shift"), None)
+    rel = 100.0 * (b - a) / abs(a)
+    if abs(rel) <= band_pct:
+        return ("noise", rel)
+    sign = direction(name)
+    if sign == 0:
+        return ("shift", rel)
+    return (("improvement" if rel * sign > 0 else "regression"), rel)
+
+
+def _flatten_stages(stages: dict) -> dict:
+    flat: dict = {}
+    for name in sorted(stages):
+        entry = stages[name]
+        for fld in sorted(entry):
+            flat[f"{name}.{fld}"] = entry[fld]
+    return flat
+
+
+def diff_runs(
+    a: RunResults,
+    b: RunResults,
+    band_pct: float = DEFAULT_BAND_PCT,
+    include_cells: bool = False,
+    include_noise: bool = True,
+) -> RunDiff:
+    """Structural diff of two normalized runs.
+
+    A section present in only one run is *skipped* (recorded, not
+    diffed) — a bench document has no span timeline, and comparing its
+    absence against a live probe would manufacture noise.  ``cells`` is
+    opt-in because reading it can trigger table regeneration.
+
+    ``include_noise=False`` drops within-band timing rows from the output
+    (the summary counts still include everything compared).
+    """
+    diff = RunDiff(
+        label_a=a.describe(),
+        label_b=b.describe(),
+        meta_a=dict(a.meta),
+        meta_b=dict(b.meta),
+        band_pct=band_pct,
+    )
+    advisory_timing = not diff.fingerprint_match
+    sections = [s for s in SECTIONS if include_cells or s != "cells"]
+    for section in sections:
+        side_a = getattr(a, section)
+        side_b = getattr(b, section)
+        if section == "stages":
+            side_a = _flatten_stages(side_a)
+            side_b = _flatten_stages(side_b)
+        if not side_a or not side_b:
+            if side_a or side_b:
+                diff.skipped.append(section)
+            continue
+        types_a = a.metric_types if section == "metrics" else {}
+        types_b = b.metric_types if section == "metrics" else {}
+        names = sorted(set(side_a) | set(side_b))
+        diff.compared[section] = len(names)
+        for name in names:
+            klass = classify(
+                section, name, types_a.get(name) or types_b.get(name)
+            )
+            in_a, in_b = name in side_a, name in side_b
+            va, vb = side_a.get(name), side_b.get(name)
+            advisory = klass == "timing" and advisory_timing
+            if not in_a or not in_b:
+                status = "added" if not in_a else "removed"
+                diff.rows.append(
+                    DeltaRow(section, name, va, vb, klass, status,
+                             advisory=advisory or klass == "info")
+                )
+                continue
+            if va == vb:
+                continue
+            delta = (vb - va) if (_numeric(va) and _numeric(vb)) else None
+            if klass == "timing":
+                status, rel = _timing_status(name, va, vb, band_pct)
+                if status == "noise" and not include_noise:
+                    continue
+            else:
+                status = "changed"
+                rel = (
+                    100.0 * delta / abs(va)
+                    if delta is not None and va
+                    else None
+                )
+            diff.rows.append(
+                DeltaRow(
+                    section, name, va, vb, klass, status,
+                    delta=delta,
+                    rel_pct=round(rel, 3) if rel is not None else None,
+                    advisory=advisory or klass == "info",
+                )
+            )
+    return diff
+
+
+# -- gating ----------------------------------------------------------------
+def parse_fail_on(text: str) -> tuple[str, float]:
+    """Parse ``--fail-on``: ``exact`` | ``regression[:N%]`` | ``any``.
+
+    Returns ``(mode, band_pct)``; the band applies to ``regression`` and
+    defaults to :data:`DEFAULT_BAND_PCT`.
+    """
+    mode, _, band = text.strip().partition(":")
+    mode = mode.strip().lower()
+    if mode not in ("exact", "regression", "any"):
+        raise ValueError(
+            f"unknown --fail-on mode {mode!r} "
+            "(expected exact, regression[:N%], or any)"
+        )
+    band_pct = DEFAULT_BAND_PCT
+    if band:
+        try:
+            band_pct = float(band.strip().rstrip("%"))
+        except ValueError:
+            raise ValueError(f"bad --fail-on band {band!r}") from None
+        if band_pct <= 0:
+            raise ValueError("--fail-on band must be positive")
+    return mode, band_pct
+
+
+def gate(diff: RunDiff, mode: str) -> list[str]:
+    """Violation messages for one gating mode; empty means the gate passes.
+
+    * ``exact`` — any bit-identity (exact-class) delta fails;
+    * ``regression`` — exact deltas fail, and so do non-advisory timing
+      regressions beyond the diff's band;
+    * ``any`` — every non-noise row fails (advisory included).
+    """
+    violations: list[str] = []
+
+    def _describe(row: DeltaRow) -> str:
+        extra = f" ({row.rel_pct:+.1f}%)" if row.rel_pct is not None else ""
+        return (
+            f"{row.section}/{row.name}: {row.status} "
+            f"{row.a!r} -> {row.b!r}{extra} [{row.klass}]"
+        )
+
+    for row in diff.non_timing_deltas:
+        violations.append(_describe(row))
+    if mode in ("regression", "any"):
+        for row in diff.regressions():
+            violations.append(_describe(row))
+    if mode == "any":
+        for row in diff.rows:
+            if row.klass == "exact" or row.status in ("noise", "regression"):
+                continue
+            violations.append(_describe(row))
+    return violations

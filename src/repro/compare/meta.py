@@ -1,0 +1,162 @@
+"""Run provenance: the ``meta`` block, machine fingerprints, bench history.
+
+Every benchmark document (``BENCH_pipeline.json``, ``BENCH_serve.json``)
+is stamped with a :func:`run_meta` block — git revision, UTC timestamp,
+python version, cpu count, and whether the native kernels were disabled —
+and appended as one line to ``results/bench_history.jsonl`` so the perf
+trajectory accumulates instead of being overwritten in place.
+
+The :func:`machine_fingerprint` of a meta block is the part of provenance
+that makes *timing* comparable: two runs whose fingerprints differ (other
+interpreter, other core count, kernels on vs off) can still be diffed
+bit-exactly on their deterministic fields, but their wall-clock deltas are
+advisory — :mod:`repro.compare.diff` downgrades them instead of gating.
+
+Nothing in this module imports the rest of the package, so the benchmark
+writers (:mod:`repro.experiments.bench`, :mod:`repro.serve.loadtest`) can
+stamp documents without pulling the analysis layer in.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+
+#: Default history file the bench writers append to.
+HISTORY_PATH = pathlib.Path("results") / "bench_history.jsonl"
+
+#: Meta fields that identify *where* a run executed (not when): timing
+#: comparisons across differing fingerprints are advisory, never gating.
+FINGERPRINT_FIELDS = (
+    "platform", "machine", "python", "cpu_count", "no_native"
+)
+
+
+def git_rev(cwd: str | os.PathLike | None = None) -> str:
+    """Current git revision, or ``"unknown"`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_meta(cwd: str | os.PathLike | None = None) -> dict:
+    """The provenance block stamped into every benchmark document."""
+    return {
+        "git_rev": git_rev(cwd),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "no_native": os.environ.get("REPRO_NO_NATIVE", "") not in ("", "0"),
+    }
+
+
+def machine_fingerprint(meta: dict | None) -> str | None:
+    """Stable string identifying the measuring machine, or ``None``.
+
+    ``None`` (meta absent or incomplete) means "unknown machine" and is
+    treated as a fingerprint mismatch: without provenance, timing deltas
+    cannot be trusted to be like-for-like.
+    """
+    if not meta:
+        return None
+    parts = []
+    for field in FINGERPRINT_FIELDS:
+        if field not in meta:
+            return None
+        parts.append(f"{field}={meta[field]}")
+    return " ".join(parts)
+
+
+def flatten(doc, prefix: str = "", exclude: tuple = ("meta",)) -> dict:
+    """Dotted-key view of a JSON document's scalar leaves.
+
+    Dicts recurse with ``.``-joined keys, lists with ``[i]`` suffixes;
+    scalar leaves (numbers, strings, booleans, null) are kept as-is.  Top
+    level ``exclude`` keys (the provenance block by default) are skipped —
+    they are compared as provenance, not as measurements.
+    """
+    flat: dict = {}
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            if not prefix and key in exclude:
+                continue
+            sub = prefix + ("." if prefix else "") + str(key)
+            flat.update(flatten(doc[key], sub, exclude))
+    elif isinstance(doc, (list, tuple)):
+        for i, value in enumerate(doc):
+            flat.update(flatten(value, f"{prefix}[{i}]", exclude))
+    else:
+        flat[prefix] = doc
+    return flat
+
+
+def history_entry(bench: str, doc: dict) -> dict:
+    """One history line: bench kind, provenance, flattened measurements."""
+    return {
+        "bench": bench,
+        "meta": doc.get("meta") or {},
+        "metrics": flatten(doc),
+    }
+
+
+def append_history(
+    bench: str,
+    doc: dict,
+    path: str | os.PathLike | None = None,
+) -> pathlib.Path:
+    """Append one run to the bench-history trajectory (JSONL, one per run)."""
+    out = pathlib.Path(path) if path is not None else HISTORY_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(history_entry(bench, doc), sort_keys=True)
+    with open(out, "a") as handle:
+        handle.write(line + "\n")
+    return out
+
+
+def load_history(
+    path: str | os.PathLike | None = None, bench: str | None = None
+) -> list[dict]:
+    """Parse a history file; optionally filter to one bench kind.
+
+    Unparseable lines (a torn tail from a killed append) are skipped, not
+    fatal — history is an append-only log, and the valid prefix is always
+    usable.
+    """
+    source = pathlib.Path(path) if path is not None else HISTORY_PATH
+    entries: list[dict] = []
+    try:
+        text = source.read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(doc, dict) or "metrics" not in doc:
+            continue
+        if bench is not None and doc.get("bench") != bench:
+            continue
+        entries.append(doc)
+    return entries

@@ -386,6 +386,11 @@ def bench_pipeline(
 
 
 def write_bench(doc: dict, path: str | pathlib.Path = "BENCH_pipeline.json") -> pathlib.Path:
+    """Write the document (stamped with provenance) and append to history."""
+    from repro.compare.meta import append_history, run_meta
+
+    doc.setdefault("meta", run_meta())
     out = pathlib.Path(path)
     out.write_text(json.dumps(doc, indent=2) + "\n")
+    append_history("pipeline", doc)
     return out

@@ -217,11 +217,18 @@ def ascii_timeline(
 
 
 # -- aggregation ----------------------------------------------------------
-def top_spans(tracks: list[dict], n: int = 10) -> list[dict]:
+def top_spans(tracks: list[dict], n: int | None = 10) -> list[dict]:
     """Aggregate spans by name across every track, heaviest total first.
 
     ``self`` time is the span's wall time minus its direct children's, so
     a hot leaf stage stands out even under a long-running parent.
+
+    Ranking is by total wall time with a fully deterministic tie-break —
+    self time, then name, then first-seen order (the position at which the
+    name first appeared walking the timeline, itself deterministic because
+    tracks and their spans are ordered) — so two runs that aggregate to
+    the same durations render their tables in the same order and a
+    cross-run diff of the table is stable.  ``n=None`` returns every name.
     """
     totals: dict[str, dict] = {}
     for track in tracks:
@@ -234,16 +241,19 @@ def top_spans(tracks: list[dict], n: int = 10) -> list[dict]:
             agg = totals.setdefault(
                 doc["name"],
                 {"name": doc["name"], "cat": doc["cat"], "count": 0,
-                 "total_ns": 0, "self_ns": 0},
+                 "total_ns": 0, "self_ns": 0, "first_seen": len(totals)},
             )
             wall = doc["t1"] - doc["t0"]
             agg["count"] += 1
             agg["total_ns"] += wall
             agg["self_ns"] += wall - children
     ranked = sorted(
-        totals.values(), key=lambda a: (-a["total_ns"], a["name"])
+        totals.values(),
+        key=lambda a: (
+            -a["total_ns"], -a["self_ns"], a["name"], a["first_seen"]
+        ),
     )
-    return ranked[:n]
+    return ranked if n is None else ranked[:n]
 
 
 def format_top_spans(tracks: list[dict], n: int = 10) -> str:

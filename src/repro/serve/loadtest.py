@@ -259,8 +259,12 @@ def run_loadtest(
         "server_stats": stats,
     }
     if out is not None:
+        from repro.compare.meta import append_history, run_meta
+
+        doc.setdefault("meta", run_meta())
         path = pathlib.Path(out)
         path.write_text(json.dumps(doc, indent=2) + "\n")
+        append_history("serve", doc)
         doc["path"] = str(path)
     return doc
 
